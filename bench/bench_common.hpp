@@ -1,0 +1,85 @@
+// Shared driver for the paper-figure bench binaries: sweep the thread
+// ladder over a queue roster and print one table per configuration, in the
+// layout the paper's figures/tables encode (rows = thread counts, columns =
+// queues).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_framework/options.hpp"
+#include "bench_framework/registry.hpp"
+#include "bench_framework/table.hpp"
+
+namespace cpq::bench {
+
+inline std::vector<const QueueSpec*> roster_from_env() {
+  const char* names = std::getenv("CPQ_QUEUES");
+  return resolve_roster(names ? names : "");
+}
+
+inline std::string config_title(const std::string& label,
+                                const BenchConfig& cfg) {
+  return label + " — " + workload_name(cfg.workload) + " workload, " +
+         cfg.keys.name() + " keys";
+}
+
+// Throughput sweep: MOps/s mean ± 95% CI per (threads, queue).
+inline void throughput_table(const std::string& label, BenchConfig cfg,
+                             const Options& options,
+                             const std::vector<const QueueSpec*>& roster) {
+  std::vector<std::string> columns;
+  for (const QueueSpec* spec : roster) columns.push_back(spec->name);
+  Table table(config_title(label, cfg) + " — throughput [MOps/s]", "threads",
+              columns);
+  for (unsigned threads : options.thread_ladder) {
+    cfg.threads = threads;
+    std::vector<std::string> cells;
+    for (const QueueSpec* spec : roster) {
+      const ThroughputResult result = spec->throughput(cfg);
+      cells.push_back(Table::format_mean_ci(result.mops.mean,
+                                            result.mops.ci95));
+    }
+    table.add_row(std::to_string(threads), std::move(cells));
+  }
+  table.print();
+}
+
+// Rank-error sweep: mean (stddev) per (threads, queue), as in the paper's
+// quality tables.
+inline void quality_table(const std::string& label, BenchConfig cfg,
+                          const Options& options,
+                          const std::vector<const QueueSpec*>& roster) {
+  std::vector<std::string> columns;
+  for (const QueueSpec* spec : roster) columns.push_back(spec->name);
+  Table table(config_title(label, cfg) + " — rank error mean (σ)", "threads",
+              columns);
+  for (unsigned threads : options.thread_ladder) {
+    cfg.threads = threads;
+    std::vector<std::string> cells;
+    for (const QueueSpec* spec : roster) {
+      const QualityResult result = spec->quality(cfg);
+      cells.push_back(Table::format_mean_std(result.rank_error.mean,
+                                             result.rank_error.stddev));
+    }
+    table.add_row(std::to_string(threads), std::move(cells));
+  }
+  table.print();
+}
+
+inline void print_bench_header(const char* name, const char* reproduces,
+                               const Options& options) {
+  std::printf("# %s\n", name);
+  std::printf("# reproduces: %s\n", reproduces);
+  std::printf(
+      "# prefill=%zu window=%.0fms reps=%u seed=%llu threads=",
+      options.prefill, options.duration_s * 1000.0, options.repetitions,
+      static_cast<unsigned long long>(options.seed));
+  for (unsigned t : options.thread_ladder) std::printf("%u,", t);
+  std::printf(
+      "\n# scale up with CPQ_THREADS/CPQ_BENCH_MS/CPQ_BENCH_REPS/CPQ_PREFILL "
+      "(paper: 10^6 prefill, 10 s windows, 10 reps)\n");
+}
+
+}  // namespace cpq::bench

@@ -1,0 +1,210 @@
+// C1 — component microbenchmarks (google-benchmark).
+//
+// Isolates the building blocks that the full-system benchmarks compose:
+// sequential queues (the MultiQueue's and GlobalLock's engines), the LSM
+// block merge (the k-LSM's insert amortization), the order-statistic replay
+// engine (quality-benchmark cost), RNG and lock primitives, EBR overhead,
+// and single-threaded operation cost of every concurrent queue (the y-axis
+// intercepts of the paper's figures).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bench_framework/keygen.hpp"
+#include "mm/epoch.hpp"
+#include "mm/hazard.hpp"
+#include "platform/rng.hpp"
+#include "platform/spinlock.hpp"
+#include "queues/globallock.hpp"
+#include "queues/hunt_heap.hpp"
+#include "queues/klsm/block.hpp"
+#include "queues/klsm/klsm.hpp"
+#include "queues/linden.hpp"
+#include "queues/multiqueue.hpp"
+#include "queues/spraylist.hpp"
+#include "seq/binary_heap.hpp"
+#include "seq/order_statistic_tree.hpp"
+#include "seq/pairing_heap.hpp"
+#include "seq/seq_lsm.hpp"
+
+namespace {
+
+using K = std::uint64_t;
+using V = std::uint64_t;
+
+// ---- primitives -------------------------------------------------------
+
+void BM_RngNext(benchmark::State& state) {
+  cpq::Xoroshiro128 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngNextBelow(benchmark::State& state) {
+  cpq::Xoroshiro128 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_below(12345));
+  }
+}
+BENCHMARK(BM_RngNextBelow);
+
+template <typename Lock>
+void BM_LockUncontended(benchmark::State& state) {
+  Lock lock;
+  for (auto _ : state) {
+    lock.lock();
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_LockUncontended<cpq::TasSpinlock>);
+BENCHMARK(BM_LockUncontended<cpq::Spinlock>);
+
+void BM_EbrGuard(benchmark::State& state) {
+  for (auto _ : state) {
+    cpq::mm::EbrDomain::Guard guard;
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_EbrGuard);
+
+// The read-side cost EBR avoids: one seq_cst publish + revalidation per
+// protected pointer (see mm/hazard.hpp's tradeoff discussion).
+void BM_HazardAcquire(benchmark::State& state) {
+  static cpq::mm::HazardDomain<int> domain;
+  std::atomic<int*> published{new int(7)};
+  auto slot = domain.make_slot();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(slot.protect(published));
+    slot.clear();
+  }
+  delete published.load();
+}
+BENCHMARK(BM_HazardAcquire);
+
+void BM_KeyGenerator(benchmark::State& state) {
+  using cpq::bench::KeyConfig;
+  const KeyConfig configs[] = {KeyConfig::uniform(32), KeyConfig::uniform(8),
+                               KeyConfig::ascending(),
+                               KeyConfig::descending()};
+  cpq::bench::KeyGenerator gen(configs[state.range(0)], 1, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.next());
+  }
+}
+BENCHMARK(BM_KeyGenerator)->DenseRange(0, 3);
+
+// ---- sequential queues --------------------------------------------------
+
+template <typename Heap>
+void BM_SeqQueueSteadyState(benchmark::State& state) {
+  Heap heap;
+  cpq::Xoroshiro128 rng(7);
+  const std::int64_t prefill = state.range(0);
+  for (std::int64_t i = 0; i < prefill; ++i) {
+    heap.insert(rng.next_below(1u << 20), i);
+  }
+  K k;
+  V v;
+  for (auto _ : state) {
+    heap.insert(rng.next_below(1u << 20), 0);
+    benchmark::DoNotOptimize(heap.delete_min(k, v));
+  }
+}
+BENCHMARK(BM_SeqQueueSteadyState<cpq::seq::BinaryHeap<K, V>>)
+    ->Arg(1000)
+    ->Arg(100000);
+BENCHMARK(BM_SeqQueueSteadyState<cpq::seq::PairingHeap<K, V>>)
+    ->Arg(1000)
+    ->Arg(100000);
+BENCHMARK(BM_SeqQueueSteadyState<cpq::seq::SeqLsm<K, V>>)
+    ->Arg(1000)
+    ->Arg(100000);
+
+// ---- k-LSM block machinery ---------------------------------------------
+
+void BM_BlockClaimMerge(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<std::pair<K, V>> ia, ib;
+    for (std::int64_t i = 0; i < n; ++i) ia.emplace_back(2 * i, i);
+    for (std::int64_t i = 0; i < n; ++i) ib.emplace_back(2 * i + 1, i);
+    auto* a = cpq::klsm_detail::Block<K, V>::create(std::move(ia));
+    auto* b = cpq::klsm_detail::Block<K, V>::create(std::move(ib));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(cpq::klsm_detail::claim_merge(*a, *b));
+    state.PauseTiming();
+    a->unref();
+    b->unref();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_BlockClaimMerge)->Arg(128)->Arg(4096);
+
+// ---- order-statistic replay engine ---------------------------------------
+
+void BM_OstInsertErase(benchmark::State& state) {
+  cpq::seq::OrderStatisticTree<K> tree;
+  cpq::Xoroshiro128 rng(3);
+  const std::int64_t prefill = state.range(0);
+  for (std::int64_t i = 0; i < prefill; ++i) {
+    tree.insert(rng.next_below(1u << 20), i);
+  }
+  std::uint64_t id = prefill;
+  for (auto _ : state) {
+    const K key = rng.next_below(1u << 20);
+    tree.insert(key, id);
+    benchmark::DoNotOptimize(tree.erase(key, id));
+    ++id;
+  }
+}
+BENCHMARK(BM_OstInsertErase)->Arg(100000);
+
+// ---- concurrent queues, single-threaded op cost ---------------------------
+
+template <typename Queue>
+void BM_QueueSteadyState1T(benchmark::State& state) {
+  Queue queue(1);
+  auto handle = queue.get_handle(0);
+  cpq::Xoroshiro128 rng(11);
+  for (int i = 0; i < 100000; ++i) {
+    handle.insert(rng.next_below(1u << 20), i);
+  }
+  K k;
+  V v;
+  for (auto _ : state) {
+    handle.insert(rng.next_below(1u << 20), 0);
+    benchmark::DoNotOptimize(handle.delete_min(k, v));
+  }
+}
+BENCHMARK(BM_QueueSteadyState1T<cpq::GlobalLockQueue<K, V>>);
+BENCHMARK(BM_QueueSteadyState1T<cpq::LindenQueue<K, V>>);
+BENCHMARK(BM_QueueSteadyState1T<cpq::SprayList<K, V>>);
+BENCHMARK(BM_QueueSteadyState1T<cpq::MultiQueue<K, V>>);
+BENCHMARK(BM_QueueSteadyState1T<cpq::HuntHeap<K, V>>);
+
+void BM_KlsmSteadyState1T(benchmark::State& state) {
+  cpq::KLsmQueue<K, V> queue(1, static_cast<std::uint64_t>(state.range(0)));
+  auto handle = queue.get_handle(0);
+  cpq::Xoroshiro128 rng(11);
+  for (int i = 0; i < 100000; ++i) {
+    handle.insert(rng.next_below(1u << 20), i);
+  }
+  K k;
+  V v;
+  for (auto _ : state) {
+    handle.insert(rng.next_below(1u << 20), 0);
+    benchmark::DoNotOptimize(handle.delete_min(k, v));
+  }
+}
+BENCHMARK(BM_KlsmSteadyState1T)->Arg(128)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,193 @@
+// cpq_bench_cli — the parameterizable benchmark driver (paper §F wish list,
+// in the spirit of Gramoli's Synchrobench).
+//
+// Every orthogonal parameter the paper enumerates is a flag:
+//
+//   --queues=glock,linden,…   roster (default: the paper's seven)
+//   --workload=uniform|split|alternating|batch
+//   --batch=N                 operation batch size (implies --workload=batch)
+//   --keys=uniform32|uniform16|uniform8|ascending|descending|hold
+//   --insert-fraction=0.5     operation distribution (uniform workload)
+//   --prefill=100000
+//   --threads=1,2,4,8         thread ladder
+//   --ms=60                   throughput window  (throughput mode)
+//   --ops=20000               ops per thread     (quality/latency modes)
+//   --reps=3
+//   --seed=42
+//   --mode=throughput|quality|latency|sort
+//   --list                    print the queue roster and exit
+//
+// Defaults reproduce a quick Fig.-1-style run. CPQ_* environment variables
+// seed the defaults, flags override.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bench_framework/latency.hpp"
+
+namespace {
+
+using namespace cpq::bench;
+
+bool parse_flag(const char* arg, const char* name, std::string& value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    value.assign(arg + len + 1);
+    return true;
+  }
+  return false;
+}
+
+KeyConfig parse_keys(const std::string& text, bool& ok) {
+  ok = true;
+  if (text == "uniform32") return KeyConfig::uniform(32);
+  if (text == "uniform16") return KeyConfig::uniform(16);
+  if (text == "uniform8") return KeyConfig::uniform(8);
+  if (text == "ascending") return KeyConfig::ascending();
+  if (text == "descending") return KeyConfig::descending();
+  if (text == "hold") return KeyConfig::hold();
+  ok = false;
+  return KeyConfig::uniform(32);
+}
+
+Workload parse_workload(const std::string& text, bool& ok) {
+  ok = true;
+  if (text == "uniform") return Workload::kUniform;
+  if (text == "split") return Workload::kSplit;
+  if (text == "alternating") return Workload::kAlternating;
+  if (text == "batch") return Workload::kBatch;
+  ok = false;
+  return Workload::kUniform;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--queues=a,b] [--workload=W] [--keys=K]\n"
+               "          [--insert-fraction=F] [--prefill=N] "
+               "[--threads=1,2,4]\n"
+               "          [--ms=N] [--ops=N] [--reps=N] [--seed=N]\n"
+               "          [--mode=throughput|quality|latency|sort] [--list]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options = options_from_env();
+  std::string mode = "throughput";
+  std::string queues;
+  std::string workload_text = "uniform";
+  std::string keys_text = "uniform32";
+  double insert_fraction = 0.5;
+  std::uint64_t batch_size = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--list") == 0) {
+      for (const QueueSpec& spec : queue_registry()) {
+        std::printf("%-12s %s%s\n", spec.name.c_str(),
+                    spec.description.c_str(),
+                    spec.in_paper ? "  [paper roster]" : "");
+      }
+      return 0;
+    }
+    if (parse_flag(argv[i], "--queues", value)) {
+      queues = value;
+    } else if (parse_flag(argv[i], "--workload", value)) {
+      workload_text = value;
+    } else if (parse_flag(argv[i], "--keys", value)) {
+      keys_text = value;
+    } else if (parse_flag(argv[i], "--insert-fraction", value)) {
+      insert_fraction = std::atof(value.c_str());
+    } else if (parse_flag(argv[i], "--batch", value)) {
+      batch_size = std::strtoull(value.c_str(), nullptr, 10);
+      workload_text = "batch";
+    } else if (parse_flag(argv[i], "--prefill", value)) {
+      options.prefill = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--threads", value)) {
+      setenv("CPQ_THREADS", value.c_str(), 1);
+      options = options_from_env();
+    } else if (parse_flag(argv[i], "--ms", value)) {
+      options.duration_s = std::atof(value.c_str()) / 1000.0;
+    } else if (parse_flag(argv[i], "--ops", value)) {
+      options.quality_ops = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--reps", value)) {
+      options.repetitions =
+          static_cast<unsigned>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (parse_flag(argv[i], "--seed", value)) {
+      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--mode", value)) {
+      mode = value;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  bool ok = true;
+  BenchConfig cfg = base_config(options);
+  cfg.workload = parse_workload(workload_text, ok);
+  if (!ok) return usage(argv[0]);
+  cfg.keys = parse_keys(keys_text, ok);
+  if (!ok) return usage(argv[0]);
+  cfg.insert_fraction = insert_fraction;
+  cfg.batch_size = batch_size;
+
+  const auto roster = resolve_roster(queues);
+  if (roster.empty()) {
+    std::fprintf(stderr, "no known queue in --queues=%s (try --list)\n",
+                 queues.c_str());
+    return 2;
+  }
+
+  print_bench_header("cpq_bench_cli", "parameterizable benchmark (§F)",
+                     options);
+
+  if (mode == "throughput") {
+    throughput_table("custom", cfg, options, roster);
+  } else if (mode == "quality") {
+    quality_table("custom", cfg, options, roster);
+  } else if (mode == "latency") {
+    std::vector<std::string> columns;
+    for (const auto* spec : roster) columns.push_back(spec->name);
+    Table table("custom — delete_min latency [ns] p50 / p99", "threads",
+                columns);
+    for (unsigned threads : options.thread_ladder) {
+      cfg.threads = threads;
+      std::vector<std::string> cells;
+      for (const auto* spec : roster) {
+        const LatencyResult result = spec->latency(cfg);
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.0f / %.0f",
+                      result.delete_min.p50_ns, result.delete_min.p99_ns);
+        cells.emplace_back(buf);
+      }
+      table.add_row(std::to_string(threads), std::move(cells));
+    }
+    table.print();
+  } else if (mode == "sort") {
+    std::vector<std::string> columns;
+    for (const auto* spec : roster) columns.push_back(spec->name);
+    Table table("custom — sort phases insert/delete [MOps/s]", "threads",
+                columns);
+    for (unsigned threads : options.thread_ladder) {
+      cfg.threads = threads;
+      std::vector<std::string> cells;
+      for (const auto* spec : roster) {
+        const auto [ins, del] = spec->sort_phases(cfg);
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.2f / %.2f", ins, del);
+        cells.emplace_back(buf);
+      }
+      table.add_row(std::to_string(threads), std::move(cells));
+    }
+    table.print();
+  } else {
+    return usage(argv[0]);
+  }
+  return 0;
+}

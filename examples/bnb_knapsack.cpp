@@ -1,0 +1,213 @@
+// Parallel branch-and-bound 0/1 knapsack with a relaxed priority queue.
+//
+// Branch-and-bound is the paper's third motivating application. Best-first
+// B&B keeps open subproblems in a priority queue ordered by their optimistic
+// bound; with a relaxed queue, workers sometimes expand a node whose bound
+// is not the current best — which costs extra node expansions but never
+// correctness, because pruning only compares against the *incumbent*.
+//
+// The example solves a randomly generated instance with (a) sequential
+// best-first search as ground truth (plus an independent DP check) and
+// (b) parallel workers over the k-LSM, and prints solution value, node
+// expansions, and wall time.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdint>
+#include <vector>
+
+#include "platform/rng.hpp"
+#include "platform/thread_util.hpp"
+#include "platform/timing.hpp"
+#include "queues/klsm/klsm.hpp"
+#include "seq/binary_heap.hpp"
+
+namespace {
+
+struct Item {
+  std::uint32_t weight;
+  std::uint32_t value;
+};
+
+struct Instance {
+  std::vector<Item> items;  // sorted by value density, descending
+  std::uint64_t capacity;
+
+  static Instance random(std::size_t n, std::uint64_t seed) {
+    Instance inst;
+    cpq::Xoroshiro128 rng(seed);
+    std::uint64_t total_weight = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      Item item{static_cast<std::uint32_t>(rng.next_in(1, 1000)),
+                static_cast<std::uint32_t>(rng.next_in(1, 1000))};
+      total_weight += item.weight;
+      inst.items.push_back(item);
+    }
+    inst.capacity = total_weight / 2;
+    std::sort(inst.items.begin(), inst.items.end(),
+              [](const Item& a, const Item& b) {
+                return static_cast<std::uint64_t>(a.value) * b.weight >
+                       static_cast<std::uint64_t>(b.value) * a.weight;
+              });
+    return inst;
+  }
+};
+
+// Fractional-relaxation upper bound for the subproblem "items[depth:] with
+// remaining capacity", plus the fixed value collected so far.
+std::uint64_t upper_bound(const Instance& inst, std::size_t depth,
+                          std::uint64_t remaining, std::uint64_t value) {
+  std::uint64_t bound = value;
+  for (std::size_t i = depth; i < inst.items.size(); ++i) {
+    const Item& item = inst.items[i];
+    if (item.weight <= remaining) {
+      remaining -= item.weight;
+      bound += item.value;
+    } else {
+      bound += static_cast<std::uint64_t>(item.value) * remaining /
+               item.weight;
+      break;
+    }
+  }
+  return bound;
+}
+
+// A search node, packed into a 64-bit value for the queue payload:
+// depth (16 bits) | remaining capacity (24 bits) | value so far (24 bits).
+std::uint64_t pack(std::uint32_t depth, std::uint64_t remaining,
+                   std::uint64_t value) {
+  return (static_cast<std::uint64_t>(depth) << 48) | (remaining << 24) |
+         value;
+}
+void unpack(std::uint64_t node, std::uint32_t& depth, std::uint64_t& remaining,
+            std::uint64_t& value) {
+  depth = static_cast<std::uint32_t>(node >> 48);
+  remaining = (node >> 24) & 0xFFFFFF;
+  value = node & 0xFFFFFF;
+}
+
+// Min-queue key: inverted bound, so the most promising node comes first.
+constexpr std::uint64_t kKeyBias = 1ULL << 40;
+std::uint64_t bound_to_key(std::uint64_t bound) { return kKeyBias - bound; }
+
+std::uint64_t dp_optimum(const Instance& inst) {
+  std::vector<std::uint64_t> best(inst.capacity + 1, 0);
+  for (const Item& item : inst.items) {
+    for (std::uint64_t c = inst.capacity; c >= item.weight; --c) {
+      best[c] = std::max(best[c], best[c - item.weight] + item.value);
+    }
+  }
+  return best[inst.capacity];
+}
+
+template <typename InsertFn>
+void expand(const Instance& inst, std::uint64_t node,
+            std::atomic<std::uint64_t>& incumbent, InsertFn&& enqueue,
+            std::uint64_t& expansions) {
+  std::uint32_t depth;
+  std::uint64_t remaining, value;
+  unpack(node, depth, remaining, value);
+  ++expansions;
+  // Raise the incumbent with the always-feasible "take nothing more".
+  std::uint64_t best = incumbent.load(std::memory_order_relaxed);
+  while (value > best && !incumbent.compare_exchange_weak(
+                             best, value, std::memory_order_acq_rel)) {
+  }
+  if (depth == inst.items.size()) return;
+  const Item& item = inst.items[depth];
+  // Branch 1: take the item (if it fits).
+  if (item.weight <= remaining) {
+    const std::uint64_t child_value = value + item.value;
+    const std::uint64_t child_rem = remaining - item.weight;
+    const std::uint64_t bound =
+        upper_bound(inst, depth + 1, child_rem, child_value);
+    if (bound > incumbent.load(std::memory_order_relaxed)) {
+      enqueue(bound_to_key(bound), pack(depth + 1, child_rem, child_value));
+    }
+  }
+  // Branch 2: skip the item.
+  const std::uint64_t bound = upper_bound(inst, depth + 1, remaining, value);
+  if (bound > incumbent.load(std::memory_order_relaxed)) {
+    enqueue(bound_to_key(bound), pack(depth + 1, remaining, value));
+  }
+}
+
+std::uint64_t sequential_bnb(const Instance& inst, std::uint64_t& expansions) {
+  cpq::seq::BinaryHeap<std::uint64_t, std::uint64_t> heap;
+  std::atomic<std::uint64_t> incumbent{0};
+  expansions = 0;
+  heap.insert(bound_to_key(upper_bound(inst, 0, inst.capacity, 0)),
+              pack(0, inst.capacity, 0));
+  std::uint64_t key, node;
+  while (heap.delete_min(key, node)) {
+    if (kKeyBias - key <= incumbent.load(std::memory_order_relaxed)) {
+      continue;  // bound no longer beats the incumbent
+    }
+    expand(inst, node, incumbent,
+           [&](std::uint64_t k, std::uint64_t v) { heap.insert(k, v); },
+           expansions);
+  }
+  return incumbent.load();
+}
+
+std::uint64_t parallel_bnb(const Instance& inst, unsigned threads,
+                           std::uint64_t& expansions_out) {
+  cpq::KLsmQueue<std::uint64_t, std::uint64_t> queue(threads, 256);
+  std::atomic<std::uint64_t> incumbent{0};
+  std::atomic<std::uint64_t> pending{1};
+  std::atomic<std::uint64_t> expansions{0};
+  {
+    auto handle = queue.get_handle(0);
+    handle.insert(bound_to_key(upper_bound(inst, 0, inst.capacity, 0)),
+                  pack(0, inst.capacity, 0));
+  }
+  cpq::run_team(threads, [&](unsigned tid) {
+    auto handle = queue.get_handle(tid);
+    std::uint64_t local_expansions = 0;
+    while (pending.load(std::memory_order_acquire) > 0) {
+      std::uint64_t key, node;
+      if (!handle.delete_min(key, node)) continue;
+      if (kKeyBias - key > incumbent.load(std::memory_order_relaxed)) {
+        expand(inst, node, incumbent,
+               [&](std::uint64_t k, std::uint64_t v) {
+                 pending.fetch_add(1, std::memory_order_acq_rel);
+                 handle.insert(k, v);
+               },
+               local_expansions);
+      }
+      pending.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    expansions.fetch_add(local_expansions, std::memory_order_relaxed);
+  });
+  expansions_out = expansions.load();
+  return incumbent.load();
+}
+
+}  // namespace
+
+int main() {
+  const Instance inst = Instance::random(36, 20260706);
+  std::printf("knapsack: %zu items, capacity %llu\n", inst.items.size(),
+              static_cast<unsigned long long>(inst.capacity));
+
+  const std::uint64_t optimal = dp_optimum(inst);
+  std::printf("%-14s value=%llu (ground truth)\n", "dp",
+              static_cast<unsigned long long>(optimal));
+
+  std::uint64_t expansions = 0;
+  cpq::Stopwatch watch;
+  const std::uint64_t seq = sequential_bnb(inst, expansions);
+  std::printf("%-14s value=%llu  expansions=%llu  time=%.3fs  %s\n",
+              "bnb-seq", static_cast<unsigned long long>(seq),
+              static_cast<unsigned long long>(expansions),
+              watch.elapsed_seconds(), seq == optimal ? "OK" : "WRONG!");
+
+  watch.restart();
+  const std::uint64_t par = parallel_bnb(inst, 4, expansions);
+  std::printf("%-14s value=%llu  expansions=%llu  time=%.3fs  %s\n",
+              "bnb-klsm256", static_cast<unsigned long long>(par),
+              static_cast<unsigned long long>(expansions),
+              watch.elapsed_seconds(), par == optimal ? "OK" : "WRONG!");
+  return (seq == optimal && par == optimal) ? 0 : 1;
+}

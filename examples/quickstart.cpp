@@ -1,0 +1,69 @@
+// Quickstart: the 5-minute tour of the cpq library.
+//
+//   * construct a queue (here: the k-LSM with relaxation k=256),
+//   * get one Handle per thread,
+//   * insert(key, value) / delete_min(key&, value&),
+//   * understand what "relaxed" buys and costs.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "queues/klsm/klsm.hpp"
+#include "queues/linden.hpp"
+
+int main() {
+  constexpr unsigned kThreads = 4;
+
+  // 1. A relaxed priority queue. delete_min returns one of the kP+1
+  //    smallest items (k = 256, P = 4 here) instead of the exact minimum —
+  //    that relaxation is what lets it scale past the delete_min bottleneck.
+  cpq::KLsmQueue<std::uint64_t, std::uint64_t> queue(kThreads,
+                                                     /*relaxation_k=*/256);
+
+  // 2. Each thread gets its own handle (it holds the thread's RNG stream
+  //    and its thread-local LSM identity).
+  std::vector<std::thread> team;
+  for (unsigned tid = 0; tid < kThreads; ++tid) {
+    team.emplace_back([&queue, tid] {
+      auto handle = queue.get_handle(tid);
+      // Insert a block of keys…
+      for (std::uint64_t i = 0; i < 10000; ++i) {
+        handle.insert(tid * 10000 + i, /*value=*/i);
+      }
+      // …and consume some. The returned key is *one of the smallest*, not
+      // necessarily THE smallest.
+      std::uint64_t key, value;
+      for (int i = 0; i < 5000; ++i) {
+        if (!handle.delete_min(key, value)) break;
+      }
+    });
+  }
+  for (auto& t : team) t.join();
+
+  // 3. Drain the rest single-threaded and observe near-sortedness.
+  auto handle = queue.get_handle(0);
+  std::uint64_t key, value, last = 0, inversions = 0, drained = 0;
+  while (handle.delete_min(key, value)) {
+    inversions += (key < last);
+    last = key;
+    ++drained;
+  }
+  std::printf("drained %llu items, %llu inversions (relaxation at work)\n",
+              static_cast<unsigned long long>(drained),
+              static_cast<unsigned long long>(inversions));
+
+  // 4. Need strict semantics? Same interface, different queue:
+  cpq::LindenQueue<std::uint64_t, std::uint64_t> strict(1);
+  auto sh = strict.get_handle(0);
+  sh.insert(3, 30);
+  sh.insert(1, 10);
+  sh.insert(2, 20);
+  while (sh.delete_min(key, value)) {
+    std::printf("strict delete_min -> key %llu\n",
+                static_cast<unsigned long long>(key));
+  }
+  return 0;
+}

@@ -1,0 +1,233 @@
+// The throughput and quality measurement harnesses (paper §2/§F).
+//
+// Throughput: prefill the queue, release P worker threads at a barrier,
+// run the chosen workload/key-distribution mix for a fixed duration, and
+// report operations per second (insertions + deletions; a deletion that
+// finds the queue empty still counts as one operation, as in the paper's
+// steady-state setup). Every repetition uses a fresh queue and a derived
+// seed.
+//
+// Quality (rank error): identical setup but every thread performs a fixed
+// number of operations and logs each with a fast timestamp. The logs are
+// merged into one linear sequence and replayed through an order-statistic
+// tree (seq/order_statistic_tree.hpp) to determine, for every deletion, the
+// rank of the deleted item at its deletion point. Values carry unique item
+// ids so the replay can delete exact items; equal keys are broken by id,
+// which makes the measurement "pessimistic" for duplicate keys exactly as
+// the paper describes.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_framework/keygen.hpp"
+#include "bench_framework/stats.hpp"
+#include "bench_framework/workload.hpp"
+#include "platform/cache.hpp"
+#include "platform/thread_util.hpp"
+#include "platform/timing.hpp"
+
+namespace cpq::bench {
+
+struct BenchConfig {
+  unsigned threads = 1;
+  Workload workload = Workload::kUniform;
+  KeyConfig keys = KeyConfig::uniform(32);
+  std::size_t prefill = 100'000;
+  double duration_s = 0.1;            // throughput mode
+  std::uint64_t ops_per_thread = 0;   // quality mode
+  unsigned repetitions = 3;
+  std::uint64_t seed = 42;
+  bool pin_threads = true;
+  double insert_fraction = 0.5;
+  std::uint64_t batch_size = 1;  // for Workload::kBatch
+};
+
+struct ThroughputResult {
+  Summary mops;                    // million operations per second
+  std::vector<double> per_rep;     // raw MOps/s per repetition
+};
+
+// One logged operation for the quality benchmark.
+struct OpLogEntry {
+  std::uint64_t timestamp;
+  std::uint64_t key;
+  std::uint64_t id;    // unique item id (== the inserted value)
+  bool is_insert;
+};
+
+struct QualityResult {
+  Summary rank_error;          // over all logged deletions, all repetitions
+  // Median rank error: robust against the replay-timestamp outliers that
+  // oversubscribed machines produce (see EXPERIMENTS.md caveats).
+  double median_rank_error = 0.0;
+  std::uint64_t max_rank_error = 0;
+  std::uint64_t deletions = 0;
+};
+
+// Replay engine (implemented in quality_replay.cpp): merges per-thread logs
+// by timestamp and computes the rank error of every deletion. Rank error 0
+// means the true minimum was deleted.
+void replay_rank_errors(std::vector<std::vector<OpLogEntry>>& logs,
+                        std::vector<double>& rank_errors_out,
+                        std::uint64_t& max_out);
+
+namespace detail {
+
+inline std::uint64_t item_id(unsigned thread_id, std::uint64_t counter) {
+  return (static_cast<std::uint64_t>(thread_id + 1) << 40) | counter;
+}
+
+constexpr unsigned kPrefillThread = 0xFFFFF;  // id-space slot for prefill
+
+}  // namespace detail
+
+// Prefill the queue with `cfg.prefill` items drawn from the configured key
+// distribution (single-threaded, before the measurement starts). When `logs`
+// is non-null the insertions are recorded for the quality replay.
+template <typename Queue>
+void prefill_queue(Queue& queue, const BenchConfig& cfg, std::uint64_t seed,
+                   std::vector<OpLogEntry>* log) {
+  auto handle = queue.get_handle(0);
+  KeyGenerator gen(cfg.keys, seed ^ 0x9e3779b9ULL, detail::kPrefillThread);
+  for (std::size_t i = 0; i < cfg.prefill; ++i) {
+    const std::uint64_t key = gen.next();
+    const std::uint64_t id = detail::item_id(detail::kPrefillThread, i);
+    handle.insert(key, id);
+    if (log) log->push_back({fast_timestamp(), key, id, true});
+  }
+}
+
+// Run one timed throughput repetition. Returns MOps/s.
+template <typename Queue>
+double throughput_rep(Queue& queue, const BenchConfig& cfg,
+                      std::uint64_t seed) {
+  SpinBarrier barrier(cfg.threads + 1);
+  std::atomic<bool> stop{false};
+  std::vector<CacheAligned<std::uint64_t>> op_counts(cfg.threads);
+
+  std::vector<std::thread> team;
+  team.reserve(cfg.threads);
+  for (unsigned tid = 0; tid < cfg.threads; ++tid) {
+    team.emplace_back([&, tid] {
+      if (cfg.pin_threads) pin_to_core(tid);
+      auto handle = queue.get_handle(tid);
+      KeyGenerator gen(cfg.keys, seed, tid);
+      OpChooser chooser(cfg.workload, tid, cfg.threads, seed,
+                        cfg.insert_fraction, cfg.batch_size);
+      std::uint64_t ops = 0;
+      std::uint64_t insert_counter = 0;
+      barrier.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (chooser.next_is_insert()) {
+          handle.insert(gen.next(), detail::item_id(tid, insert_counter++));
+        } else {
+          std::uint64_t key;
+          std::uint64_t value;
+          if (handle.delete_min(key, value)) gen.observe_deleted(key);
+        }
+        ++ops;
+      }
+      op_counts[tid].value = ops;
+    });
+  }
+
+  barrier.arrive_and_wait();
+  Stopwatch watch;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(cfg.duration_s));
+  stop.store(true, std::memory_order_release);
+  const double elapsed = watch.elapsed_seconds();
+  for (auto& t : team) t.join();
+
+  std::uint64_t total = 0;
+  for (const auto& c : op_counts) total += c.value;
+  return static_cast<double>(total) / elapsed / 1e6;
+}
+
+// Full throughput measurement: `cfg.repetitions` fresh queues.
+// `make_queue(threads, seed)` constructs the queue under test.
+template <typename Factory>
+ThroughputResult run_throughput(Factory&& make_queue, const BenchConfig& cfg) {
+  ThroughputResult result;
+  for (unsigned rep = 0; rep < cfg.repetitions; ++rep) {
+    const std::uint64_t seed = cfg.seed + 7919ULL * rep;
+    auto queue = make_queue(cfg.threads, seed);
+    prefill_queue(*queue, cfg, seed, nullptr);
+    result.per_rep.push_back(throughput_rep(*queue, cfg, seed));
+  }
+  result.mops = summarize(result.per_rep);
+  return result;
+}
+
+// Run one quality repetition, filling per-thread logs.
+template <typename Queue>
+void quality_rep(Queue& queue, const BenchConfig& cfg, std::uint64_t seed,
+                 std::vector<std::vector<OpLogEntry>>& logs) {
+  logs.assign(cfg.threads + 1, {});
+  prefill_queue(queue, cfg, seed, &logs[cfg.threads]);
+
+  SpinBarrier barrier(cfg.threads);
+  std::vector<std::thread> team;
+  team.reserve(cfg.threads);
+  for (unsigned tid = 0; tid < cfg.threads; ++tid) {
+    team.emplace_back([&, tid] {
+      if (cfg.pin_threads) pin_to_core(tid);
+      auto handle = queue.get_handle(tid);
+      KeyGenerator gen(cfg.keys, seed, tid);
+      OpChooser chooser(cfg.workload, tid, cfg.threads, seed,
+                        cfg.insert_fraction, cfg.batch_size);
+      auto& log = logs[tid];
+      log.reserve(cfg.ops_per_thread);
+      std::uint64_t insert_counter = 0;
+      barrier.arrive_and_wait();
+      for (std::uint64_t op = 0; op < cfg.ops_per_thread; ++op) {
+        if (chooser.next_is_insert()) {
+          const std::uint64_t key = gen.next();
+          const std::uint64_t id = detail::item_id(tid, insert_counter++);
+          handle.insert(key, id);
+          log.push_back({fast_timestamp(), key, id, true});
+        } else {
+          std::uint64_t key;
+          std::uint64_t id;
+          if (handle.delete_min(key, id)) {
+            log.push_back({fast_timestamp(), key, id, false});
+            gen.observe_deleted(key);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : team) t.join();
+}
+
+template <typename Factory>
+QualityResult run_quality(Factory&& make_queue, const BenchConfig& cfg) {
+  QualityResult result;
+  std::vector<double> all_errors;
+  for (unsigned rep = 0; rep < cfg.repetitions; ++rep) {
+    const std::uint64_t seed = cfg.seed + 104729ULL * rep;
+    auto queue = make_queue(cfg.threads, seed);
+    std::vector<std::vector<OpLogEntry>> logs;
+    quality_rep(*queue, cfg, seed, logs);
+    std::uint64_t max_err = 0;
+    replay_rank_errors(logs, all_errors, max_err);
+    if (max_err > result.max_rank_error) result.max_rank_error = max_err;
+  }
+  result.deletions = all_errors.size();
+  if (!all_errors.empty()) {
+    const std::size_t mid = all_errors.size() / 2;
+    std::nth_element(all_errors.begin(), all_errors.begin() + mid,
+                     all_errors.end());
+    result.median_rank_error = all_errors[mid];
+  }
+  result.rank_error = summarize(all_errors);
+  return result;
+}
+
+}  // namespace cpq::bench

@@ -1,0 +1,200 @@
+// Latency measurement mode — the paper's "throughput/latency switch" (§F):
+// "Alternatively, a number of queue operations could be prescribed, and the
+// time (latency) for this number and mix of operations measured."
+//
+// Every thread executes a fixed number of operations and timestamps each
+// one individually (RDTSC, calibrated against the wall clock per
+// repetition). Per-operation latencies are split by operation type and
+// summarized as percentiles — throughput hides convoying and tail effects
+// (e.g. a GlobalLock queue can post decent throughput while its p99
+// explodes), which is precisely why the paper proposes the switch.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bench_framework/harness.hpp"
+#include "platform/thread_util.hpp"
+#include "platform/timing.hpp"
+
+namespace cpq::bench {
+
+struct LatencyPercentiles {
+  double p50_ns = 0;
+  double p90_ns = 0;
+  double p99_ns = 0;
+  double max_ns = 0;
+  std::uint64_t samples = 0;
+};
+
+struct LatencyResult {
+  LatencyPercentiles insert;
+  LatencyPercentiles delete_min;
+};
+
+// Destructive percentile extraction (nth_element reorders `samples_ns`).
+inline LatencyPercentiles percentiles_of(std::vector<double>& samples_ns) {
+  LatencyPercentiles result;
+  result.samples = samples_ns.size();
+  if (samples_ns.empty()) return result;
+  auto at = [&](double q) {
+    const std::size_t index = static_cast<std::size_t>(
+        q * static_cast<double>(samples_ns.size() - 1));
+    std::nth_element(samples_ns.begin(), samples_ns.begin() + index,
+                     samples_ns.end());
+    return samples_ns[index];
+  };
+  result.p50_ns = at(0.50);
+  result.p90_ns = at(0.90);
+  result.p99_ns = at(0.99);
+  result.max_ns = *std::max_element(samples_ns.begin(), samples_ns.end());
+  return result;
+}
+
+// Run `cfg.repetitions` latency repetitions; `cfg.ops_per_thread` operations
+// per thread per repetition, workload/key distribution as configured.
+template <typename Factory>
+LatencyResult run_latency(Factory&& make_queue, const BenchConfig& cfg) {
+  std::vector<double> insert_ns;
+  std::vector<double> delete_ns;
+
+  for (unsigned rep = 0; rep < cfg.repetitions; ++rep) {
+    const std::uint64_t seed = cfg.seed + 31337ULL * rep;
+    auto queue = make_queue(cfg.threads, seed);
+    prefill_queue(*queue, cfg, seed, nullptr);
+
+    // Calibrate fast_timestamp ticks against wall time for this rep.
+    const std::uint64_t tsc0 = fast_timestamp();
+    Stopwatch calibration;
+
+    std::vector<std::vector<std::uint64_t>> ins(cfg.threads);
+    std::vector<std::vector<std::uint64_t>> del(cfg.threads);
+    SpinBarrier barrier(cfg.threads);
+    run_team(cfg.threads, [&](unsigned tid) {
+      auto handle = queue->get_handle(tid);
+      KeyGenerator gen(cfg.keys, seed, tid);
+      OpChooser chooser(cfg.workload, tid, cfg.threads, seed,
+                        cfg.insert_fraction, cfg.batch_size);
+      auto& my_ins = ins[tid];
+      auto& my_del = del[tid];
+      my_ins.reserve(cfg.ops_per_thread);
+      my_del.reserve(cfg.ops_per_thread);
+      std::uint64_t counter = 0;
+      barrier.arrive_and_wait();
+      for (std::uint64_t op = 0; op < cfg.ops_per_thread; ++op) {
+        if (chooser.next_is_insert()) {
+          const std::uint64_t key = gen.next();
+          const std::uint64_t start = fast_timestamp();
+          handle.insert(key, detail::item_id(tid, counter++));
+          my_ins.push_back(fast_timestamp() - start);
+        } else {
+          std::uint64_t key;
+          std::uint64_t value;
+          const std::uint64_t start = fast_timestamp();
+          const bool ok = handle.delete_min(key, value);
+          my_del.push_back(fast_timestamp() - start);
+          if (ok) gen.observe_deleted(key);
+        }
+      }
+    }, cfg.pin_threads);
+
+    const double ns_per_tick =
+        static_cast<double>(calibration.elapsed_ns()) /
+        static_cast<double>(fast_timestamp() - tsc0);
+    for (unsigned tid = 0; tid < cfg.threads; ++tid) {
+      for (std::uint64_t ticks : ins[tid]) {
+        insert_ns.push_back(static_cast<double>(ticks) * ns_per_tick);
+      }
+      for (std::uint64_t ticks : del[tid]) {
+        delete_ns.push_back(static_cast<double>(ticks) * ns_per_tick);
+      }
+    }
+  }
+
+  LatencyResult result;
+  result.insert = percentiles_of(insert_ns);
+  result.delete_min = percentiles_of(delete_ns);
+  return result;
+}
+
+// Sorting phases (Larkin–Sen–Tarjan; paper §F "large batches"): all threads
+// insert their share of cfg.prefill random items (phase 1, timed), then
+// delete until the queue drains (phase 2, timed). Fixed work, not fixed
+// time, so a fast queue cannot inflate its number on a drained queue.
+// Returns {insert MOps/s, delete MOps/s} averaged over repetitions.
+template <typename Factory>
+std::pair<double, double> run_sort_phases(Factory&& make_queue,
+                                          const BenchConfig& cfg) {
+  double insert_mops = 0;
+  double delete_mops = 0;
+  for (unsigned rep = 0; rep < cfg.repetitions; ++rep) {
+    const std::uint64_t seed = cfg.seed + 7331ULL * rep;
+    auto queue = make_queue(cfg.threads, seed);
+    const std::uint64_t per_thread =
+        (cfg.prefill + cfg.threads - 1) / cfg.threads;
+    const std::uint64_t total = per_thread * cfg.threads;
+
+    // Each worker records its own phase-boundary timestamps; the phase
+    // duration is max(end) - min(start) over the team. (A coordinator
+    // thread reading the clock around barrier crossings can be descheduled
+    // for a whole phase when threads outnumber cores, measuring ~0.)
+    auto now_ns = [] {
+      return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+    };
+    struct PhaseStamp {
+      std::int64_t insert_start, insert_end, delete_start, delete_end;
+    };
+    std::vector<CacheAligned<PhaseStamp>> stamps(cfg.threads);
+
+    SpinBarrier barrier(cfg.threads);
+    std::atomic<std::uint64_t> remaining{total};
+    run_team(cfg.threads, [&](unsigned tid) {
+      auto handle = queue->get_handle(tid);
+      KeyGenerator gen(cfg.keys, seed, tid);
+      barrier.arrive_and_wait();
+      stamps[tid].value.insert_start = now_ns();
+      for (std::uint64_t i = 0; i < per_thread; ++i) {
+        handle.insert(gen.next(), detail::item_id(tid, i));
+      }
+      stamps[tid].value.insert_end = now_ns();
+      barrier.arrive_and_wait();
+      stamps[tid].value.delete_start = now_ns();
+      std::uint64_t key;
+      std::uint64_t value;
+      unsigned misses = 0;
+      while (remaining.load(std::memory_order_relaxed) > 0 &&
+             misses < 1024) {
+        if (handle.delete_min(key, value)) {
+          remaining.fetch_sub(1, std::memory_order_relaxed);
+          misses = 0;
+        } else {
+          ++misses;
+        }
+      }
+      stamps[tid].value.delete_end = now_ns();
+    }, cfg.pin_threads);
+
+    std::int64_t ins_start = stamps[0].value.insert_start;
+    std::int64_t ins_end = stamps[0].value.insert_end;
+    std::int64_t del_start = stamps[0].value.delete_start;
+    std::int64_t del_end = stamps[0].value.delete_end;
+    for (unsigned tid = 1; tid < cfg.threads; ++tid) {
+      ins_start = std::min(ins_start, stamps[tid].value.insert_start);
+      ins_end = std::max(ins_end, stamps[tid].value.insert_end);
+      del_start = std::min(del_start, stamps[tid].value.delete_start);
+      del_end = std::max(del_end, stamps[tid].value.delete_end);
+    }
+    insert_mops += static_cast<double>(total) /
+                   static_cast<double>(ins_end - ins_start) * 1e3;
+    delete_mops += static_cast<double>(total) /
+                   static_cast<double>(del_end - del_start) * 1e3;
+  }
+  return {insert_mops / cfg.repetitions, delete_mops / cfg.repetitions};
+}
+
+}  // namespace cpq::bench

@@ -1,0 +1,67 @@
+#include "bench_framework/options.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace cpq::bench {
+
+namespace {
+
+const char* env(const char* name) { return std::getenv(name); }
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = env(name);
+  if (!value || !*value) return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+std::vector<unsigned> parse_ladder(const char* text) {
+  std::vector<unsigned> ladder;
+  unsigned current = 0;
+  bool have_digit = false;
+  for (const char* p = text;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      current = current * 10 + static_cast<unsigned>(*p - '0');
+      have_digit = true;
+    } else {
+      if (have_digit && current > 0) ladder.push_back(current);
+      current = 0;
+      have_digit = false;
+      if (*p == '\0') break;
+    }
+  }
+  return ladder;
+}
+
+}  // namespace
+
+Options options_from_env() {
+  Options options;
+  if (const char* ladder = env("CPQ_THREADS"); ladder && *ladder) {
+    options.thread_ladder = parse_ladder(ladder);
+  }
+  if (options.thread_ladder.empty()) {
+    options.thread_ladder = {1, 2, 4, 8};
+  }
+  options.duration_s =
+      static_cast<double>(env_u64("CPQ_BENCH_MS", 60)) / 1000.0;
+  options.repetitions =
+      static_cast<unsigned>(env_u64("CPQ_BENCH_REPS", 3));
+  options.prefill = static_cast<std::size_t>(env_u64("CPQ_PREFILL", 100'000));
+  options.quality_ops = env_u64("CPQ_QOPS", 20'000);
+  options.seed = env_u64("CPQ_SEED", 42);
+  if (options.repetitions == 0) options.repetitions = 1;
+  return options;
+}
+
+BenchConfig base_config(const Options& options) {
+  BenchConfig config;
+  config.duration_s = options.duration_s;
+  config.repetitions = options.repetitions;
+  config.prefill = options.prefill;
+  config.ops_per_thread = options.quality_ops;
+  config.seed = options.seed;
+  return config;
+}
+
+}  // namespace cpq::bench

@@ -1,0 +1,40 @@
+// Environment-driven benchmark options.
+//
+// Every bench binary runs standalone with container-friendly defaults and
+// can be scaled back up to the paper's parameters on real hardware:
+//
+//   CPQ_THREADS   comma-separated ladder, e.g. "1,2,4,6,8,10,12,14,16"
+//                 (default "1,2,4,8")
+//   CPQ_BENCH_MS  measurement window per point in milliseconds
+//                 (default 60; paper: 10000)
+//   CPQ_BENCH_REPS repetitions per point (default 3; paper: 10+)
+//   CPQ_PREFILL   prefill item count (default 100000; paper: 1000000)
+//   CPQ_QOPS      quality-benchmark operations per thread (default 20000)
+//   CPQ_SEED      base RNG seed (default 42)
+//   CPQ_CSV       "1" to also emit CSV rows
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_framework/harness.hpp"
+
+namespace cpq::bench {
+
+struct Options {
+  std::vector<unsigned> thread_ladder;
+  double duration_s = 0.06;
+  unsigned repetitions = 3;
+  std::size_t prefill = 100'000;
+  std::uint64_t quality_ops = 20'000;
+  std::uint64_t seed = 42;
+};
+
+// Parse the CPQ_* environment variables over the defaults above.
+Options options_from_env();
+
+// A BenchConfig preloaded with the harness-wide options; callers then set
+// workload/keys/threads.
+BenchConfig base_config(const Options& options);
+
+}  // namespace cpq::bench

@@ -1,0 +1,74 @@
+// Rank-error replay (paper §F, quality benchmark).
+//
+// "The quality benchmark initially records all inserted and deleted items
+// together with their timestamp in a log; this log is then used to
+// reconstruct a global, linear sequence of all operations. A specialized
+// sequential priority queue is then used to replay this sequence and
+// efficiently determine the rank of all deleted items."
+//
+// The specialized structure here is the order-statistic treap. A deletion
+// occasionally sorts before its own insertion (timestamps are taken just
+// after the operation returns, so two racing threads can invert); such
+// deletions are deferred until the matching insertion is replayed, which is
+// the closest consistent linearization.
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_framework/harness.hpp"
+#include "seq/order_statistic_tree.hpp"
+
+namespace cpq::bench {
+
+void replay_rank_errors(std::vector<std::vector<OpLogEntry>>& logs,
+                        std::vector<double>& rank_errors_out,
+                        std::uint64_t& max_out) {
+  // Merge all logs into one timestamp-ordered sequence.
+  std::size_t total = 0;
+  for (const auto& log : logs) total += log.size();
+  std::vector<OpLogEntry> sequence;
+  sequence.reserve(total);
+  for (auto& log : logs) {
+    sequence.insert(sequence.end(), log.begin(), log.end());
+    log.clear();
+    log.shrink_to_fit();
+  }
+  std::stable_sort(sequence.begin(), sequence.end(),
+                   [](const OpLogEntry& a, const OpLogEntry& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+
+  seq::OrderStatisticTree<std::uint64_t> tree;
+  // Deletions whose insertion has not been replayed yet.
+  std::unordered_set<std::uint64_t> pending_deletes;
+  max_out = 0;
+
+  auto record = [&](std::size_t rank_1based) {
+    const double error = static_cast<double>(rank_1based - 1);
+    rank_errors_out.push_back(error);
+    if (rank_1based - 1 > max_out) max_out = rank_1based - 1;
+  };
+
+  for (const OpLogEntry& op : sequence) {
+    if (op.is_insert) {
+      tree.insert(op.key, op.id);
+      const auto pending = pending_deletes.find(op.id);
+      if (pending != pending_deletes.end()) {
+        pending_deletes.erase(pending);
+        const std::size_t rank = tree.erase(op.key, op.id);
+        if (rank != 0) record(rank);
+      }
+    } else {
+      const std::size_t rank = tree.erase(op.key, op.id);
+      if (rank != 0) {
+        record(rank);
+      } else {
+        pending_deletes.insert(op.id);
+      }
+    }
+  }
+}
+
+}  // namespace cpq::bench

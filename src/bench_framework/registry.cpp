@@ -1,0 +1,222 @@
+#include "bench_framework/registry.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "queues/cbpq.hpp"
+#include "queues/globallock.hpp"
+#include "queues/hunt_heap.hpp"
+#include "queues/klsm/klsm.hpp"
+#include "queues/klsm/standalone.hpp"
+#include "queues/linden.hpp"
+#include "queues/mound.hpp"
+#include "queues/multiqueue.hpp"
+#include "queues/shavit_lotan.hpp"
+#include "queues/spraylist.hpp"
+#include "queues/sundell_tsigas.hpp"
+#include "seq/dary_heap.hpp"
+#include "seq/pairing_heap.hpp"
+
+namespace cpq::bench {
+
+namespace {
+
+using K = bench_key;
+using V = bench_value;
+
+// Bind the template harness to a queue factory.
+template <typename Factory>
+QueueSpec make_spec(std::string name, std::string description, bool strict,
+                    bool in_paper, Factory factory) {
+  QueueSpec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  spec.strict = strict;
+  spec.in_paper = in_paper;
+  spec.throughput = [factory](const BenchConfig& cfg) {
+    return run_throughput(
+        [&](unsigned threads, std::uint64_t seed) {
+          return factory(threads, seed, cfg);
+        },
+        cfg);
+  };
+  spec.quality = [factory](const BenchConfig& cfg) {
+    return run_quality(
+        [&](unsigned threads, std::uint64_t seed) {
+          return factory(threads, seed, cfg);
+        },
+        cfg);
+  };
+  spec.latency = [factory](const BenchConfig& cfg) {
+    return run_latency(
+        [&](unsigned threads, std::uint64_t seed) {
+          return factory(threads, seed, cfg);
+        },
+        cfg);
+  };
+  spec.sort_phases = [factory](const BenchConfig& cfg) {
+    return run_sort_phases(
+        [&](unsigned threads, std::uint64_t seed) {
+          return factory(threads, seed, cfg);
+        },
+        cfg);
+  };
+  return spec;
+}
+
+std::vector<QueueSpec> build_registry() {
+  std::vector<QueueSpec> registry;
+
+  registry.push_back(make_spec(
+      "glock", "sequential binary heap + global lock (baseline)",
+      /*strict=*/true, /*in_paper=*/true,
+      [](unsigned threads, std::uint64_t seed, const BenchConfig& cfg) {
+        (void)seed;
+        return std::make_unique<GlobalLockQueue<K, V>>(threads, cfg.prefill);
+      }));
+
+  registry.push_back(make_spec(
+      "linden", "Linden-Jonsson lock-free skiplist PQ (strict)",
+      /*strict=*/true, /*in_paper=*/true,
+      [](unsigned threads, std::uint64_t seed, const BenchConfig&) {
+        return std::make_unique<LindenQueue<K, V>>(threads, 32, seed);
+      }));
+
+  registry.push_back(make_spec(
+      "spray", "SprayList relaxed skiplist PQ",
+      /*strict=*/false, /*in_paper=*/true,
+      [](unsigned threads, std::uint64_t seed, const BenchConfig&) {
+        return std::make_unique<SprayList<K, V>>(threads, 1, seed);
+      }));
+
+  registry.push_back(make_spec(
+      "mq", "MultiQueue, c=4, binary-heap backed",
+      /*strict=*/false, /*in_paper=*/true,
+      [](unsigned threads, std::uint64_t seed, const BenchConfig&) {
+        return std::make_unique<MultiQueue<K, V>>(threads, 4, seed);
+      }));
+
+  for (const std::uint64_t k : {128ULL, 256ULL, 4096ULL}) {
+    registry.push_back(make_spec(
+        "klsm" + std::to_string(k),
+        "k-LSM relaxed PQ, k=" + std::to_string(k),
+        /*strict=*/false, /*in_paper=*/true,
+        [k](unsigned threads, std::uint64_t seed, const BenchConfig&) {
+          return std::make_unique<KLsmQueue<K, V>>(threads, k, seed);
+        }));
+  }
+
+  // ---- extensions (not part of the paper's roster) ----------------------
+
+  registry.push_back(make_spec(
+      "hunt", "Hunt et al. fine-grained locked heap (appendix D)",
+      /*strict=*/true, /*in_paper=*/false,
+      [](unsigned threads, std::uint64_t seed, const BenchConfig& cfg) {
+        (void)seed;
+        // Size generously: prefill plus room for the worst split-workload
+        // drift during a measurement window.
+        const std::size_t capacity = cfg.prefill * 2 + (1u << 22);
+        return std::make_unique<HuntHeap<K, V>>(threads, capacity);
+      }));
+
+  registry.push_back(make_spec(
+      "dlsm", "standalone distributed LSM (thread-local + spy)",
+      /*strict=*/false, /*in_paper=*/false,
+      [](unsigned threads, std::uint64_t seed, const BenchConfig&) {
+        return std::make_unique<DlsmQueue<K, V>>(threads, seed);
+      }));
+
+  registry.push_back(make_spec(
+      "slsm256", "standalone shared LSM, k=256",
+      /*strict=*/false, /*in_paper=*/false,
+      [](unsigned threads, std::uint64_t seed, const BenchConfig&) {
+        return std::make_unique<SlsmQueue<K, V>>(threads, 256, seed);
+      }));
+
+  registry.push_back(make_spec(
+      "mq-pairing", "MultiQueue, c=4, pairing-heap backed",
+      /*strict=*/false, /*in_paper=*/false,
+      [](unsigned threads, std::uint64_t seed, const BenchConfig&) {
+        return std::make_unique<
+            MultiQueue<K, V, seq::PairingHeap<K, V>>>(threads, 4, seed);
+      }));
+
+  registry.push_back(make_spec(
+      "mq-dary", "MultiQueue, c=4, 4-ary-heap backed",
+      /*strict=*/false, /*in_paper=*/false,
+      [](unsigned threads, std::uint64_t seed, const BenchConfig&) {
+        return std::make_unique<
+            MultiQueue<K, V, seq::DaryHeap<K, V, 4>>>(threads, 4, seed);
+      }));
+
+  registry.push_back(make_spec(
+      "slotan", "Shavit-Lotan-style skiplist PQ, eager physical delete",
+      /*strict=*/true, /*in_paper=*/false,
+      [](unsigned threads, std::uint64_t seed, const BenchConfig&) {
+        return std::make_unique<ShavitLotanQueue<K, V>>(threads, seed);
+      }));
+
+  registry.push_back(make_spec(
+      "sundell", "Sundell-Tsigas-style skiplist PQ, cooperative cleanup",
+      /*strict=*/true, /*in_paper=*/false,
+      [](unsigned threads, std::uint64_t seed, const BenchConfig&) {
+        return std::make_unique<SundellTsigasQueue<K, V>>(threads, seed);
+      }));
+
+  registry.push_back(make_spec(
+      "mound", "Liu-Spear mound, lock-based (appendix D)",
+      /*strict=*/true, /*in_paper=*/false,
+      [](unsigned threads, std::uint64_t seed, const BenchConfig&) {
+        return std::make_unique<Mound<K, V>>(threads, seed);
+      }));
+
+  registry.push_back(make_spec(
+      "cbpq", "Braginsky chunk-based PQ, FAA deletes (appendix D)",
+      /*strict=*/true, /*in_paper=*/false,
+      [](unsigned threads, std::uint64_t seed, const BenchConfig&) {
+        (void)seed;
+        return std::make_unique<ChunkBasedQueue<K, V>>(threads);
+      }));
+
+  return registry;
+}
+
+}  // namespace
+
+const std::vector<QueueSpec>& queue_registry() {
+  static const std::vector<QueueSpec> registry = build_registry();
+  return registry;
+}
+
+const QueueSpec* find_queue(std::string_view name) {
+  for (const QueueSpec& spec : queue_registry()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::vector<const QueueSpec*> paper_roster() {
+  std::vector<const QueueSpec*> roster;
+  for (const QueueSpec& spec : queue_registry()) {
+    if (spec.in_paper) roster.push_back(&spec);
+  }
+  return roster;
+}
+
+std::vector<const QueueSpec*> resolve_roster(std::string_view names) {
+  if (names.empty()) return paper_roster();
+  std::vector<const QueueSpec*> roster;
+  std::size_t start = 0;
+  while (start <= names.size()) {
+    std::size_t comma = names.find(',', start);
+    if (comma == std::string_view::npos) comma = names.size();
+    const std::string_view name = names.substr(start, comma - start);
+    if (!name.empty()) {
+      if (const QueueSpec* spec = find_queue(name)) roster.push_back(spec);
+    }
+    start = comma + 1;
+  }
+  return roster;
+}
+
+}  // namespace cpq::bench

@@ -1,0 +1,48 @@
+// Queue registry: every benchmarkable queue under its paper name, bound to
+// type-erased throughput and quality runners (the template harness is
+// instantiated once per queue type in registry.cpp, so the hot loops stay
+// fully inlined — no virtual dispatch per operation).
+//
+// Paper roster: glock, linden, spray, mq, klsm128, klsm256, klsm4096.
+// Extensions:   hunt (appendix D), dlsm, slsm256 (component ablation),
+//               mq-pairing (MultiQueue over pairing heaps).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_framework/harness.hpp"
+#include "bench_framework/latency.hpp"
+
+namespace cpq::bench {
+
+struct QueueSpec {
+  std::string name;
+  std::string description;
+  bool strict;    // strict (rank error 0 expected) vs relaxed semantics
+  bool in_paper;  // part of the paper's benchmark roster
+  std::function<ThroughputResult(const BenchConfig&)> throughput;
+  std::function<QualityResult(const BenchConfig&)> quality;
+  std::function<LatencyResult(const BenchConfig&)> latency;
+  // Larkin-Sen-Tarjan-style sort phases: all threads insert their share of
+  // cfg.prefill items (timed), then delete until the queue is drained
+  // (timed). Returns {insert MOps/s, delete MOps/s}.
+  std::function<std::pair<double, double>(const BenchConfig&)> sort_phases;
+};
+
+// All registered queues, in the paper's presentation order.
+const std::vector<QueueSpec>& queue_registry();
+
+// nullptr when unknown.
+const QueueSpec* find_queue(std::string_view name);
+
+// The paper's seven-queue roster (Figure 1 ordering).
+std::vector<const QueueSpec*> paper_roster();
+
+// Resolve a comma-separated list of names ("klsm256,mq,linden"); empty input
+// yields the paper roster.
+std::vector<const QueueSpec*> resolve_roster(std::string_view names);
+
+}  // namespace cpq::bench

@@ -1,0 +1,47 @@
+// Summary statistics: mean, sample standard deviation, and 95% confidence
+// intervals (Student's t for the small repetition counts the paper uses).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace cpq::bench {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;   // sample standard deviation
+  double ci95 = 0.0;     // half-width of the 95% confidence interval
+  std::size_t n = 0;
+};
+
+// Two-sided 95% t quantiles for small degrees of freedom; converges to the
+// normal quantile.
+inline double t_quantile_95(std::size_t df) {
+  static constexpr double kTable[] = {
+      0,     12.71, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+      2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045};
+  if (df == 0) return 0.0;
+  if (df < sizeof(kTable) / sizeof(kTable[0])) return kTable[df];
+  return 1.96;
+}
+
+inline Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.n = samples.size();
+  if (s.n == 0) return s;
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n >= 2) {
+    double sq = 0.0;
+    for (double v : samples) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(s.n - 1));
+    s.ci95 = t_quantile_95(s.n - 1) * s.stddev /
+             std::sqrt(static_cast<double>(s.n));
+  }
+  return s;
+}
+
+}  // namespace cpq::bench

@@ -1,0 +1,235 @@
+// Hazard pointers (Michael, 2004) — the bounded-memory alternative to EBR.
+//
+// EBR (mm/epoch.hpp) is the default reclamation scheme in this library: its
+// read side is one uncontended store, which is what a throughput benchmark
+// wants. Its weakness is that a single stalled reader blocks reclamation
+// globally. Hazard pointers bound unreclaimed memory by the number of
+// published hazard slots regardless of stalls, at the price of a store +
+// fence per pointer acquisition. Both substrates are exercised by
+// bench_components (BM_EbrGuard vs BM_HazardAcquire) so downstream users
+// can choose with data; the queues default to EBR.
+//
+// Usage:
+//   HazardDomain<T> domain;
+//   auto slot = domain.make_slot();          // per-thread, reusable
+//   T* p = slot.protect(published_atomic);   // validated acquire
+//   ... use *p ...
+//   slot.clear();
+//   domain.retire(old);                      // deferred delete
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "platform/cache.hpp"
+
+namespace cpq::mm {
+
+template <typename T>
+class HazardDomain {
+ public:
+  static constexpr unsigned kMaxSlots = 256;
+  // Retire-list length that triggers a scan; the classic guidance is a
+  // small multiple of the slot count in use.
+  static constexpr unsigned kScanThreshold = 64;
+
+  HazardDomain() = default;
+
+  ~HazardDomain() {
+    // All slots must be released and all threads quiesced.
+    for (auto& record : records_) {
+      for (const RetiredNode& node : record.retired) {
+        node.deleter(node.ptr);
+      }
+      record.retired.clear();
+    }
+  }
+
+  HazardDomain(const HazardDomain&) = delete;
+  HazardDomain& operator=(const HazardDomain&) = delete;
+
+  class Slot {
+   public:
+    Slot() = default;
+    Slot(HazardDomain* domain, unsigned index)
+        : domain_(domain), index_(index) {}
+
+    Slot(Slot&& other) noexcept
+        : domain_(other.domain_), index_(other.index_) {
+      other.domain_ = nullptr;
+    }
+
+    Slot& operator=(Slot&& other) noexcept {
+      release();
+      domain_ = other.domain_;
+      index_ = other.index_;
+      other.domain_ = nullptr;
+      return *this;
+    }
+
+    ~Slot() { release(); }
+
+    Slot(const Slot&) = delete;
+    Slot& operator=(const Slot&) = delete;
+
+    // Publish a hazard for the current value of `source` and re-validate
+    // until stable (the standard acquire loop).
+    T* protect(const std::atomic<T*>& source) {
+      T* ptr = source.load(std::memory_order_acquire);
+      for (;;) {
+        hazard().store(ptr, std::memory_order_seq_cst);
+        T* now = source.load(std::memory_order_seq_cst);
+        if (now == ptr) return ptr;
+        ptr = now;
+      }
+    }
+
+    // Publish a hazard for a pointer the caller already holds safely
+    // (e.g. obtained via another protected pointer).
+    void set(T* ptr) { hazard().store(ptr, std::memory_order_seq_cst); }
+
+    void clear() {
+      if (domain_) hazard().store(nullptr, std::memory_order_release);
+    }
+
+    // Retire through the owning record (per-slot retire lists avoid any
+    // shared mutable state on the retire path).
+    void retire(T* ptr, void (*deleter)(void*) = &default_deleter) {
+      auto& record = domain_->records_[index_];
+      record.retired.push_back({ptr, deleter});
+      if (record.retired.size() >= kScanThreshold) domain_->scan(record);
+    }
+
+   private:
+    friend class HazardDomain;
+
+    static void default_deleter(void* p) { delete static_cast<T*>(p); }
+
+    std::atomic<T*>& hazard() { return domain_->records_[index_].hazard; }
+
+    void release() {
+      if (!domain_) return;
+      clear();
+      // Hand leftover retired nodes to slot 0's list… simplest: scan hard,
+      // then push survivors to the domain's orphan list.
+      auto& record = domain_->records_[index_];
+      domain_->scan(record);
+      if (!record.retired.empty()) {
+        domain_->adopt_orphans(record.retired);
+        record.retired.clear();
+      }
+      record.in_use.store(false, std::memory_order_release);
+      domain_ = nullptr;
+    }
+
+    HazardDomain* domain_ = nullptr;
+    unsigned index_ = 0;
+  };
+
+  // Acquire a hazard slot (typically one per thread, held for the thread's
+  // lifetime).
+  Slot make_slot() {
+    for (unsigned i = 0; i < kMaxSlots; ++i) {
+      bool expected = false;
+      if (!records_[i].in_use.load(std::memory_order_relaxed) &&
+          records_[i].in_use.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel)) {
+        return Slot(this, i);
+      }
+    }
+    assert(!"HazardDomain: slots exhausted");
+    std::abort();
+  }
+
+  std::size_t retired_count() const {
+    std::size_t total = orphan_count_.load(std::memory_order_acquire);
+    for (const auto& record : records_) total += record.retired.size();
+    return total;
+  }
+
+  std::uint64_t freed_count() const {
+    return freed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct RetiredNode {
+    T* ptr;
+    void (*deleter)(void*);
+  };
+
+  struct alignas(kCacheLineSize) Record {
+    std::atomic<bool> in_use{false};
+    std::atomic<T*> hazard{nullptr};
+    std::vector<RetiredNode> retired;  // owner-slot access only
+  };
+
+  // Free every retired node not covered by a published hazard.
+  void scan(Record& record) {
+    std::vector<T*> hazards;
+    hazards.reserve(kMaxSlots);
+    for (const auto& other : records_) {
+      if (T* h = other.hazard.load(std::memory_order_seq_cst)) {
+        hazards.push_back(h);
+      }
+    }
+    std::sort(hazards.begin(), hazards.end());
+    std::vector<RetiredNode> survivors;
+    for (const RetiredNode& node : record.retired) {
+      if (std::binary_search(hazards.begin(), hazards.end(), node.ptr)) {
+        survivors.push_back(node);
+      } else {
+        node.deleter(node.ptr);
+        freed_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    record.retired = std::move(survivors);
+    // Also take a pass over orphans while we are at it.
+    std::vector<RetiredNode> orphans;
+    {
+      SpinGuard guard(orphan_lock_);
+      orphans = std::move(orphans_);
+      orphans_.clear();
+      orphan_count_.store(0, std::memory_order_release);
+    }
+    std::vector<RetiredNode> orphan_survivors;
+    for (const RetiredNode& node : orphans) {
+      if (std::binary_search(hazards.begin(), hazards.end(), node.ptr)) {
+        orphan_survivors.push_back(node);
+      } else {
+        node.deleter(node.ptr);
+        freed_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (!orphan_survivors.empty()) adopt_orphans(orphan_survivors);
+  }
+
+  void adopt_orphans(const std::vector<RetiredNode>& nodes) {
+    SpinGuard guard(orphan_lock_);
+    orphans_.insert(orphans_.end(), nodes.begin(), nodes.end());
+    orphan_count_.store(orphans_.size(), std::memory_order_release);
+  }
+
+  class SpinGuard {
+   public:
+    explicit SpinGuard(std::atomic_flag& flag) : flag_(flag) {
+      while (flag_.test_and_set(std::memory_order_acquire)) {
+      }
+    }
+    ~SpinGuard() { flag_.clear(std::memory_order_release); }
+
+   private:
+    std::atomic_flag& flag_;
+  };
+
+  Record records_[kMaxSlots];
+  std::atomic_flag orphan_lock_ = ATOMIC_FLAG_INIT;
+  std::vector<RetiredNode> orphans_;
+  std::atomic<std::size_t> orphan_count_{0};
+  std::atomic<std::uint64_t> freed_{0};
+};
+
+}  // namespace cpq::mm

@@ -1,0 +1,56 @@
+// Exponential backoff for CAS retry loops.
+//
+// Lock-free retry loops (SLSM publication, skiplist insert, MultiQueue lock
+// acquisition) degrade badly under contention without backoff; truncated
+// exponential backoff with a randomized spin count is the standard remedy.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/rng.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace cpq {
+
+// One CPU "relax" hint: PAUSE on x86, YIELD on ARM, nop elsewhere.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+// Truncated randomized exponential backoff. Non-shared; one instance per
+// retry loop activation.
+class Backoff {
+ public:
+  explicit Backoff(std::uint64_t seed = 0xb0ff5eedULL,
+                   std::uint32_t min_spins = 4,
+                   std::uint32_t max_spins = 1024) noexcept
+      : rng_(seed), limit_(min_spins), max_(max_spins) {}
+
+  // Spin for a randomized count below the current limit, then double the
+  // limit (truncated at max).
+  void pause() noexcept {
+    const std::uint64_t spins = rng_.next_below(limit_) + 1;
+    for (std::uint64_t i = 0; i < spins; ++i) cpu_relax();
+    if (limit_ < max_) limit_ *= 2;
+  }
+
+  void reset(std::uint32_t min_spins = 4) noexcept { limit_ = min_spins; }
+
+  std::uint32_t current_limit() const noexcept { return limit_; }
+
+ private:
+  Xoroshiro128 rng_;
+  std::uint32_t limit_;
+  std::uint32_t max_;
+};
+
+}  // namespace cpq

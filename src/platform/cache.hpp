@@ -1,0 +1,48 @@
+// Cache-line geometry and padding helpers.
+//
+// Every mutable shared word in this library is placed on its own cache line:
+// false sharing between per-thread counters is the dominant scalability bug
+// in concurrent priority queues (see e.g. the MultiQueue paper's discussion
+// of lock placement), and it is cheap to rule out structurally.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cpq {
+
+// std::hardware_destructive_interference_size is 64 on every platform we
+// target but is not constexpr-usable on all standard libraries; pin it.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// Wraps T so that it occupies (and is aligned to) a whole number of cache
+// lines. Use for elements of arrays shared across threads.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+
+  CacheAligned() = default;
+
+  template <typename... Args>
+  explicit CacheAligned(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+static_assert(alignof(CacheAligned<int>) == kCacheLineSize);
+static_assert(sizeof(CacheAligned<int>) == kCacheLineSize);
+
+// Explicit trailing padding for structs that must not share their final
+// cache line with a neighbour. `Used` is the payload size.
+template <std::size_t Used>
+struct Pad {
+  static constexpr std::size_t kRemainder = Used % kCacheLineSize;
+  char pad[kRemainder == 0 ? kCacheLineSize : kCacheLineSize - kRemainder];
+};
+
+}  // namespace cpq

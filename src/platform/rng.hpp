@@ -1,0 +1,98 @@
+// Fast per-thread pseudo-random number generation.
+//
+// The benchmark harness draws one or two random numbers per queue operation
+// (key generation, operation mix, MultiQueue/SLSM victim selection), so the
+// generator must be a handful of instructions with no shared state.
+// xoroshiro128++ (Blackman & Vigna) passes BigCrush and needs two 64-bit
+// words of state; splitmix64 seeds it so that consecutive thread ids yield
+// uncorrelated streams.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cpq {
+
+// SplitMix64: used only for seeding. Deterministic stream from any seed.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoroshiro128++ main generator.
+class Xoroshiro128 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoroshiro128(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    SplitMix64 sm(seed);
+    s0_ = sm.next();
+    s1_ = sm.next();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;  // all-zero state is a fixed point
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept { return next(); }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t x = s0_;
+    std::uint64_t y = s1_;
+    const std::uint64_t result = rotl(x + y, 17) + x;
+    y ^= x;
+    s0_ = rotl(x, 49) ^ y ^ (y << 21);
+    s1_ = rotl(y, 28);
+    return result;
+  }
+
+  // Unbiased-enough bounded draw via 128-bit multiply (Lemire). The modulo
+  // bias of the naive approach is irrelevant for benchmarking keys, but the
+  // multiply is also faster than %, so there is no reason not to use it.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  // Uniform draw from the closed range [lo, hi].
+  constexpr std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  // Random double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+// Deterministic per-thread seed derivation: every (base_seed, thread_id)
+// pair gives an independent stream, and re-running a benchmark with the same
+// base seed replays identical key sequences per thread.
+inline constexpr std::uint64_t thread_seed(std::uint64_t base_seed,
+                                           unsigned thread_id) noexcept {
+  SplitMix64 sm(base_seed ^ (0x2545f4914f6cdd1dULL * (thread_id + 1)));
+  sm.next();
+  return sm.next();
+}
+
+}  // namespace cpq

@@ -1,0 +1,97 @@
+// Thread coordination helpers for the benchmark harness and stress tests:
+// a sense-reversing barrier, best-effort core pinning, and a tiny worker
+// team abstraction used everywhere we need "P threads run f(tid)".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "platform/backoff.hpp"
+#include "platform/cache.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace cpq {
+
+// Sense-reversing centralized barrier. Adequate for benchmark start/stop
+// synchronization (one or two crossings per measurement, not per operation).
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(unsigned parties) noexcept
+      : parties_(parties), remaining_(parties) {}
+
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      // Spin briefly, then yield: on an oversubscribed machine (more
+      // benchmark threads than cores) pure spinning burns whole timeslices
+      // while the last arriving thread waits to be scheduled.
+      unsigned spins = 0;
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        if (++spins < 1024) {
+          cpu_relax();
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+  }
+
+ private:
+  const unsigned parties_;
+  std::atomic<unsigned> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+// Pin the calling thread to a core, round-robin over the cores the process
+// is allowed to run on. Best effort: failure is ignored (the paper pins up
+// to the physical core count and then lets hyperthreads share).
+inline void pin_to_core(unsigned index) noexcept {
+#if defined(__linux__)
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) return;
+  const int n_allowed = CPU_COUNT(&allowed);
+  if (n_allowed <= 0) return;
+  int target = static_cast<int>(index) % n_allowed;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (!CPU_ISSET(cpu, &allowed)) continue;
+    if (target-- == 0) {
+      cpu_set_t one;
+      CPU_ZERO(&one);
+      CPU_SET(cpu, &one);
+      (void)pthread_setaffinity_np(pthread_self(), sizeof(one), &one);
+      return;
+    }
+  }
+#else
+  (void)index;
+#endif
+}
+
+// Run body(tid) on `threads` joined std::threads, optionally pinned.
+// Exceptions escaping body terminate (benchmark code must not throw).
+inline void run_team(unsigned threads,
+                     const std::function<void(unsigned)>& body,
+                     bool pin = true) {
+  std::vector<std::thread> team;
+  team.reserve(threads);
+  for (unsigned tid = 0; tid < threads; ++tid) {
+    team.emplace_back([tid, pin, &body] {
+      if (pin) pin_to_core(tid);
+      body(tid);
+    });
+  }
+  for (auto& t : team) t.join();
+}
+
+}  // namespace cpq

@@ -1,0 +1,231 @@
+// k-LSM building blocks: sorted item blocks and versioned block arrays.
+//
+// A Block is a write-once sorted array of (key, value) slots, each with an
+// atomic `taken` flag. After construction only the flags mutate, so readers
+// may dereference keys/values of any slot at any time; ownership of an item
+// is transferred by exchange(true) on its flag — exactly one claimant wins.
+// Items *move* between blocks by being claimed out of the source block and
+// re-materialized (still exactly once) in the destination block, which is
+// how merges, DLSM->SLSM overflow batches, and spy() stealing all avoid
+// duplicate delivery without the original k-LSM's pooled item-version tags.
+//
+// A BlockArray is an immutable snapshot of a LSM's block list (capacities
+// strictly decreasing), published through a single atomic pointer and
+// reclaimed via EBR. Blocks are shared between array versions (and between a
+// victim's array and a spy) through an intrusive refcount: each array owns
+// one reference per contained block, and the EBR deleter of a retired array
+// drops them.
+//
+// SLSM arrays additionally carry the pivot range: per block, an index
+// `pivot_end[i]` such that every slot below it has a key <= a threshold X
+// with count(keys <= X) <= k+1 at computation time. Because candidate
+// membership is defined by a key threshold and items only ever leave,
+// a published pivot entry never becomes unsafe (DESIGN.md §4).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "platform/cache.hpp"
+
+namespace cpq::klsm_detail {
+
+template <typename Key, typename Value>
+class Block {
+ public:
+  struct Slot {
+    Key key;
+    Value value;
+    std::atomic<bool> taken;
+  };
+
+  // Build a block from already-sorted items. refs starts at 1: the caller
+  // places the block into exactly one array (or drops it with unref()).
+  static Block* create(std::vector<std::pair<Key, Value>>&& sorted_items) {
+    return new Block(std::move(sorted_items));
+  }
+
+  void ref() noexcept { refs_.fetch_add(1, std::memory_order_relaxed); }
+
+  void unref() noexcept {
+    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+  }
+
+  std::uint32_t slot_count() const noexcept { return count_; }
+  std::uint32_t capacity() const noexcept { return capacity_; }
+
+  const Slot& slot(std::uint32_t i) const noexcept {
+    assert(i < count_);
+    return slots_[i];
+  }
+
+  // First slot index not yet claimed, starting from the head hint; advances
+  // the hint (monotonically in effect — the hint may transiently regress
+  // under races, which only costs a few extra flag reads).
+  std::uint32_t first_live() const noexcept {
+    std::uint32_t i = head_hint_.load(std::memory_order_relaxed);
+    while (i < count_ && slots_[i].taken.load(std::memory_order_acquire)) ++i;
+    if (i != head_hint_.load(std::memory_order_relaxed)) {
+      head_hint_.store(i, std::memory_order_relaxed);
+    }
+    return i;
+  }
+
+  // Upper bound on live items (counts claimed-but-not-yet-skipped slots).
+  std::uint32_t live_estimate() const noexcept {
+    const std::uint32_t head = head_hint_.load(std::memory_order_relaxed);
+    return count_ - (head < count_ ? head : count_);
+  }
+
+  // Claim slot i. True iff this caller took ownership of the item.
+  bool claim(std::uint32_t i) noexcept {
+    assert(i < count_);
+    return !slots_[i].taken.exchange(true, std::memory_order_acq_rel);
+  }
+
+  // Index of the first slot with key > threshold (binary search over all
+  // slots; claimed slots only make the result an overestimate of the live
+  // candidate count, which is the safe direction for pivots).
+  std::uint32_t upper_bound(Key threshold) const noexcept {
+    std::uint32_t lo = 0;
+    std::uint32_t hi = count_;
+    while (lo < hi) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      if (threshold < slots_[mid].key) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  // Claim-move every still-live item into `out`, preserving sort order.
+  void drain_into(std::vector<std::pair<Key, Value>>& out) {
+    for (std::uint32_t i = first_live(); i < count_; ++i) {
+      if (!slots_[i].taken.load(std::memory_order_acquire) && claim(i)) {
+        out.emplace_back(slots_[i].key, slots_[i].value);
+      }
+    }
+  }
+
+ private:
+  explicit Block(std::vector<std::pair<Key, Value>>&& sorted_items)
+      : count_(static_cast<std::uint32_t>(sorted_items.size())),
+        capacity_(capacity_for(count_)),
+        slots_(std::make_unique<Slot[]>(count_)) {
+    for (std::uint32_t i = 0; i < count_; ++i) {
+      slots_[i].key = sorted_items[i].first;
+      slots_[i].value = sorted_items[i].second;
+      slots_[i].taken.store(false, std::memory_order_relaxed);
+#ifndef NDEBUG
+      assert(i == 0 || !(sorted_items[i].first < sorted_items[i - 1].first));
+#endif
+    }
+  }
+
+  ~Block() = default;
+
+  static std::uint32_t capacity_for(std::uint32_t n) noexcept {
+    std::uint32_t c = 1;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
+  const std::uint32_t count_;
+  const std::uint32_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  mutable std::atomic<std::uint32_t> head_hint_{0};
+  std::atomic<std::uint32_t> refs_{1};
+};
+
+// Claim-merge two blocks into one freshly sorted item vector (stable k-way
+// step of the LSM merge cascade). Items lost to racing claimants are simply
+// skipped.
+template <typename Key, typename Value>
+std::vector<std::pair<Key, Value>> claim_merge(Block<Key, Value>& a,
+                                               Block<Key, Value>& b) {
+  std::vector<std::pair<Key, Value>> merged;
+  merged.reserve(a.live_estimate() + b.live_estimate());
+  std::uint32_t i = a.first_live();
+  std::uint32_t j = b.first_live();
+  while (i < a.slot_count() && j < b.slot_count()) {
+    if (b.slot(j).key < a.slot(i).key) {
+      if (b.claim(j)) merged.emplace_back(b.slot(j).key, b.slot(j).value);
+      ++j;
+    } else {
+      if (a.claim(i)) merged.emplace_back(a.slot(i).key, a.slot(i).value);
+      ++i;
+    }
+  }
+  for (; i < a.slot_count(); ++i) {
+    if (a.claim(i)) merged.emplace_back(a.slot(i).key, a.slot(i).value);
+  }
+  for (; j < b.slot_count(); ++j) {
+    if (b.claim(j)) merged.emplace_back(b.slot(j).key, b.slot(j).value);
+  }
+  return merged;
+}
+
+template <typename Key, typename Value>
+struct BlockArray {
+  static constexpr std::uint32_t kMaxBlocks = 48;
+
+  std::uint32_t count = 0;
+  Block<Key, Value>* blocks[kMaxBlocks] = {};
+  // SLSM pivot range: candidates of block i are slots [first_live, pivot_end).
+  std::atomic<std::uint32_t> pivot_end[kMaxBlocks] = {};
+
+  // The array takes over the caller's reference for each block pointer it
+  // stores (callers ref() blocks they also keep).
+  static BlockArray* create() { return new BlockArray(); }
+
+  static void destroy(BlockArray* array) {
+    for (std::uint32_t i = 0; i < array->count; ++i) {
+      array->blocks[i]->unref();
+    }
+    delete array;
+  }
+
+  // Type-erased deleter for EBR retirement.
+  static void ebr_deleter(void* p) { destroy(static_cast<BlockArray*>(p)); }
+
+  std::uint32_t live_estimate() const noexcept {
+    std::uint32_t total = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      total += blocks[i]->live_estimate();
+    }
+    return total;
+  }
+
+  // Locate the live slot with the globally smallest key. Returns false when
+  // every slot is claimed. On success, (block_index, slot_index, key) of the
+  // current minimum candidate (racy: the slot may be claimed by the time the
+  // caller acts, in which case the caller rescans).
+  bool find_min(std::uint32_t& block_out, std::uint32_t& slot_out,
+                Key& key_out) const noexcept {
+    bool found = false;
+    Key best_key{};
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint32_t first = blocks[i]->first_live();
+      if (first >= blocks[i]->slot_count()) continue;
+      const Key key = blocks[i]->slot(first).key;
+      if (!found || key < best_key) {
+        found = true;
+        block_out = i;
+        slot_out = first;
+        best_key = key;
+      }
+    }
+    if (found) key_out = best_key;
+    return found;
+  }
+};
+
+}  // namespace cpq::klsm_detail

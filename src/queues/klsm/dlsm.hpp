@@ -1,0 +1,314 @@
+// Distributed LSM (DLSM): the thread-local component of the k-LSM.
+//
+// Each thread owns one ThreadLocalLsm. The owner is the only thread that
+// restructures it (inserts, merges, overflow extraction), so structural
+// updates are single-writer: a fresh BlockArray is built, published with a
+// release store, and the old array is retired through EBR. Foreign threads
+// interact in two ways, both via the published array under an EBR guard:
+//
+//   * k-LSM delete_min peeks the owner's own array (owner access, no guard
+//     needed for the current array) — items are claimed per slot, so
+//     claims by the owner, by merges, and by spies never conflict.
+//   * spy(): when a thread's local LSM is empty, it claims every live item
+//     out of a victim's published array and re-materializes them in its own
+//     LSM. The paper describes spy as "copying" another thread's items; in
+//     the original implementation items are shared so either side may claim
+//     them, while here the spy *moves* them (each item is still delivered
+//     exactly once, and the DLSM guarantee — returned items are minimal on
+//     the current thread — is unchanged).
+//
+// Deletions from the DLSM skip at most k items per foreign thread, hence
+// k(P-1) in total; combined with the SLSM's k this yields the k-LSM's kP
+// bound (paper §B).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mm/epoch.hpp"
+#include "queues/klsm/block.hpp"
+
+namespace cpq::klsm_detail {
+
+template <typename Key, typename Value>
+class ThreadLocalLsm {
+ public:
+  using BlockT = Block<Key, Value>;
+  using ArrayT = BlockArray<Key, Value>;
+
+  // Staging buffer: the owner batches up to kStagingSlots singleton inserts
+  // before materializing them as one sorted block, cutting the per-insert
+  // allocation cost (array + block + slots) by that factor — the role of
+  // the insertion buffer in the original k-LSM. Staged items are fully
+  // visible: the owner's peek/delete scans them and spies steal them, via
+  // an epoch-tagged per-slot state word, so claiming is ABA-safe and
+  // exactly-once exactly like block slots.
+  static constexpr std::uint32_t kStagingSlots = 16;
+
+  // Slot word layout: (epoch << 2) | phase.
+  enum : std::uint64_t { kStageEmpty = 0, kStageReady = 1, kStageTaken = 2 };
+
+  // Sentinel "block index" that peek/claim use to address staging slots.
+  static constexpr std::uint32_t kStagingBlockIndex = 0xFFFFFFFFu;
+
+  // Result of peek_local_min: enough context to claim exactly the item
+  // that was peeked (stage_word pins the staging slot's incarnation).
+  struct PeekResult {
+    std::uint32_t block = 0;
+    std::uint32_t slot = 0;
+    std::uint64_t stage_word = 0;
+    Key key{};
+    bool staged = false;
+  };
+
+  ThreadLocalLsm() = default;
+
+  ~ThreadLocalLsm() {
+    ArrayT* array = published_.load(std::memory_order_relaxed);
+    if (array) ArrayT::destroy(array);
+  }
+
+  ThreadLocalLsm(const ThreadLocalLsm&) = delete;
+  ThreadLocalLsm& operator=(const ThreadLocalLsm&) = delete;
+
+  // ---- owner-only operations -------------------------------------------
+
+  void insert(Key key, Value value) {
+    if (staging_cursor_ == kStagingSlots) flush_staging();
+    StageSlot& slot = staging_[staging_cursor_++];
+    const std::uint64_t epoch = slot.state.load(std::memory_order_relaxed) >> 2;
+    slot.key = key;
+    slot.value = value;
+    slot.state.store(((epoch + 1) << 2) | kStageReady,
+                     std::memory_order_release);
+  }
+
+  // Claim all still-ready staged items into one sorted block.
+  void flush_staging() {
+    std::vector<std::pair<Key, Value>> items;
+    items.reserve(kStagingSlots);
+    for (std::uint32_t i = 0; i < staging_cursor_; ++i) {
+      StageSlot& slot = staging_[i];
+      std::uint64_t word = slot.state.load(std::memory_order_acquire);
+      if ((word & 3) != kStageReady) continue;  // stolen by a spy
+      const Key key = slot.key;
+      const Value value = slot.value;
+      if (slot.state.compare_exchange_strong(
+              word, (word & ~std::uint64_t{3}) | kStageTaken,
+              std::memory_order_acq_rel)) {
+        items.emplace_back(key, value);
+      }
+    }
+    staging_cursor_ = 0;
+    if (items.empty()) return;
+    std::sort(items.begin(), items.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    insert_block(BlockT::create(std::move(items)));
+  }
+
+  // Insert an already-sorted batch as one block (used when re-homing spied
+  // items).
+  void insert_sorted(std::vector<std::pair<Key, Value>>&& items) {
+    if (items.empty()) return;
+    insert_block(BlockT::create(std::move(items)));
+  }
+
+  // Claim the local minimum. Returns false when the local LSM is empty.
+  bool delete_local_min(Key& key_out, Value& value_out) {
+    for (;;) {
+      PeekResult peeked;
+      if (!peek_local_min(peeked)) return false;
+      if (claim_peeked(peeked, key_out, value_out)) return true;
+      // Lost the item to a spy or merge; rescan.
+    }
+  }
+
+  // Peek the local minimum candidate (staging included) without claiming.
+  // Racy by design; claim_peeked revalidates.
+  bool peek_local_min(PeekResult& out) const {
+    bool found = false;
+    Key best{};
+    std::uint32_t block_index = 0;
+    std::uint32_t slot_index = 0;
+    const ArrayT* array = published_.load(std::memory_order_relaxed);
+    if (array && array->find_min(block_index, slot_index, best)) {
+      found = true;
+      out.staged = false;
+      out.block = block_index;
+      out.slot = slot_index;
+      out.key = best;
+    }
+    for (std::uint32_t i = 0; i < kStagingSlots; ++i) {
+      const std::uint64_t word =
+          staging_[i].state.load(std::memory_order_acquire);
+      if ((word & 3) != kStageReady) continue;
+      const Key key = staging_[i].key;
+      if (!found || key < out.key) {
+        found = true;
+        out.staged = true;
+        out.block = kStagingBlockIndex;
+        out.slot = i;
+        out.stage_word = word;
+        out.key = key;
+      }
+    }
+    return found;
+  }
+
+  // Claim exactly the item found by peek_local_min; fails if a racing spy,
+  // merge, or flush got there first (or, for staging, if the slot was
+  // reused — the epoch tag makes that CAS fail).
+  bool claim_peeked(const PeekResult& peeked, Key& key_out, Value& value_out) {
+    if (peeked.staged) {
+      StageSlot& slot = staging_[peeked.slot];
+      const Key key = slot.key;
+      const Value value = slot.value;
+      std::uint64_t expected = peeked.stage_word;
+      if (!slot.state.compare_exchange_strong(
+              expected, (expected & ~std::uint64_t{3}) | kStageTaken,
+              std::memory_order_acq_rel)) {
+        return false;
+      }
+      key_out = key;
+      value_out = value;
+      return true;
+    }
+    ArrayT* array = published_.load(std::memory_order_relaxed);
+    if (!array || peeked.block >= array->count) return false;
+    BlockT* block = array->blocks[peeked.block];
+    if (peeked.slot >= block->slot_count()) return false;
+    if (!block->claim(peeked.slot)) return false;
+    key_out = block->slot(peeked.slot).key;
+    value_out = block->slot(peeked.slot).value;
+    return true;
+  }
+
+  // Upper bound on the number of live local items (staged included).
+  std::uint32_t live_estimate() const {
+    const ArrayT* array = published_.load(std::memory_order_relaxed);
+    std::uint32_t total = array ? array->live_estimate() : 0;
+    for (std::uint32_t i = 0; i < kStagingSlots; ++i) {
+      total += (staging_[i].state.load(std::memory_order_acquire) & 3) ==
+               kStageReady;
+    }
+    return total;
+  }
+
+  // Claim-extract the largest block's items (the DLSM->SLSM overflow batch)
+  // and republish without that block. Returns the sorted batch (possibly
+  // empty if racing claimants emptied the block first).
+  std::vector<std::pair<Key, Value>> extract_largest_block() {
+    std::vector<std::pair<Key, Value>> batch;
+    ArrayT* array = published_.load(std::memory_order_relaxed);
+    if (!array || array->count == 0) {
+      // Everything may still sit in staging (tiny k): materialize it so the
+      // overflow makes progress.
+      flush_staging();
+      array = published_.load(std::memory_order_relaxed);
+      if (!array || array->count == 0) return batch;
+    }
+    BlockT* largest = array->blocks[0];  // capacities sorted descending
+    largest->drain_into(batch);
+    ArrayT* next = ArrayT::create();
+    for (std::uint32_t i = 1; i < array->count; ++i) {
+      array->blocks[i]->ref();
+      next->blocks[next->count++] = array->blocks[i];
+    }
+    publish(next, array);
+    return batch;
+  }
+
+  // ---- foreign-thread operations ----------------------------------------
+
+  // Published array for spying. Caller must hold an EBR guard and must not
+  // retain the pointer beyond the guard.
+  ArrayT* spy_array() const {
+    return published_.load(std::memory_order_acquire);
+  }
+
+  // Claim every live item out of `array` (a victim's published array read
+  // under the caller's guard), appending to `out` (unsorted across blocks).
+  static void steal_all(ArrayT* array,
+                        std::vector<std::pair<Key, Value>>& out) {
+    for (std::uint32_t i = 0; i < array->count; ++i) {
+      array->blocks[i]->drain_into(out);
+    }
+  }
+
+  // Claim the victim's staged items too (called on the victim's LSM by the
+  // spying thread; the epoch-tagged CAS keeps it exactly-once).
+  void steal_staging(std::vector<std::pair<Key, Value>>& out) {
+    for (std::uint32_t i = 0; i < kStagingSlots; ++i) {
+      StageSlot& slot = staging_[i];
+      std::uint64_t word = slot.state.load(std::memory_order_acquire);
+      if ((word & 3) != kStageReady) continue;
+      const Key key = slot.key;
+      const Value value = slot.value;
+      if (slot.state.compare_exchange_strong(
+              word, (word & ~std::uint64_t{3}) | kStageTaken,
+              std::memory_order_acq_rel)) {
+        out.emplace_back(key, value);
+      }
+    }
+  }
+
+ private:
+  void insert_block(BlockT* fresh) {
+    ArrayT* old_array = published_.load(std::memory_order_relaxed);
+    ArrayT* next = ArrayT::create();
+    // Carry over existing blocks (dropping drained ones), then append the
+    // new block and run the merge cascade from the tail.
+    if (old_array) {
+      for (std::uint32_t i = 0; i < old_array->count; ++i) {
+        BlockT* block = old_array->blocks[i];
+        if (block->first_live() >= block->slot_count()) continue;  // empty
+        block->ref();
+        next->blocks[next->count++] = block;
+      }
+    }
+    next->blocks[next->count++] = fresh;
+    merge_cascade(*next);
+    publish(next, old_array);
+  }
+
+  // Merge trailing blocks while capacities collide. Claim-merged blocks
+  // replace their sources in the (owner-private, unpublished) array.
+  static void merge_cascade(ArrayT& array) {
+    while (array.count >= 2) {
+      BlockT* last = array.blocks[array.count - 1];
+      BlockT* prev = array.blocks[array.count - 2];
+      if (prev->capacity() > last->capacity()) break;
+      auto merged_items = claim_merge(*prev, *last);
+      prev->unref();
+      last->unref();
+      array.count -= 2;
+      if (!merged_items.empty()) {
+        array.blocks[array.count++] = BlockT::create(std::move(merged_items));
+      }
+    }
+  }
+
+  void publish(ArrayT* next, ArrayT* old_array) {
+    published_.store(next, std::memory_order_release);
+    if (old_array) {
+      mm::EbrDomain::Guard guard;
+      mm::EbrDomain::global().retire(static_cast<void*>(old_array),
+                                     &ArrayT::ebr_deleter);
+    }
+  }
+
+  struct StageSlot {
+    Key key{};
+    Value value{};
+    std::atomic<std::uint64_t> state{0};
+  };
+
+  std::atomic<ArrayT*> published_{nullptr};
+  StageSlot staging_[kStagingSlots];
+  std::uint32_t staging_cursor_ = 0;  // owner-thread access only
+};
+
+}  // namespace cpq::klsm_detail

@@ -1,0 +1,92 @@
+// Lindén–Jonsson concurrent priority queue (OPODIS 2013) — paper's "linden".
+//
+// A lock-free, linearizable skiplist priority queue with *strict* semantics
+// and minimal memory contention: delete_min does not physically remove the
+// minimum. Instead it walks the level-0 chain from the head over already
+// logically deleted nodes and claims the first live one with a single
+// fetch_or on that node's own next word. Only when the deleted prefix grows
+// past a bound does one thread restructure the head pointers past the
+// prefix. This batching is what lets the queue outperform earlier
+// skiplist-based designs (Shavit–Lotan, Sundell–Tsigas) by up to 2x.
+//
+// Linearizability of delete_min: the fetch_or that first sets the mark bit
+// is the linearization point, and the claimed node is the first unmarked
+// node in level-0 order, i.e. the live minimum.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/rng.hpp"
+#include "queues/queue_traits.hpp"
+#include "queues/skiplist_common.hpp"
+
+namespace cpq {
+
+template <typename Key, typename Value>
+class LindenQueue : private detail::SkiplistBase<Key, Value> {
+  using Base = detail::SkiplistBase<Key, Value>;
+  using Node = typename Base::Node;
+
+ public:
+  using key_type = Key;
+  using value_type = Value;
+
+  // `prefix_bound` is Lindén's BoundOffset: the deleted-prefix length that
+  // triggers physical restructuring.
+  explicit LindenQueue(unsigned max_threads = 0, unsigned prefix_bound = 32,
+                       std::uint64_t seed = 1)
+      : Base(seed), prefix_bound_(prefix_bound) {
+    (void)max_threads;
+  }
+
+  class Handle {
+   public:
+    Handle(LindenQueue& queue, unsigned thread_id)
+        : queue_(&queue), rng_(thread_seed(queue.seed_, thread_id)) {}
+
+    void insert(Key key, Value value) {
+      queue_->insert_node(key, value, rng_);
+    }
+
+    bool delete_min(Key& key_out, Value& value_out) {
+      LindenQueue& q = *queue_;
+      unsigned deleted_prefix = 0;
+      Node* node = Base::unpack(
+          q.head_->next[0].load(std::memory_order_acquire));
+      while (node != q.tail_) {
+        const std::uintptr_t old_word =
+            node->next[0].fetch_or(1, std::memory_order_acq_rel);
+        if (!Base::word_marked(old_word)) {
+          key_out = node->key;
+          value_out = node->value;
+          q.push_retired(node);
+          if (deleted_prefix >= q.prefix_bound_) q.clean_prefix();
+          return true;
+        }
+        ++deleted_prefix;
+        node = Base::unpack(old_word);
+      }
+      // Every node between head and tail was already claimed: empty in the
+      // observed window. Tidy the prefix so the next caller starts closer.
+      if (deleted_prefix >= q.prefix_bound_) q.clean_prefix();
+      return false;
+    }
+
+   private:
+    LindenQueue* queue_;
+    Xoroshiro128 rng_;
+  };
+
+  Handle get_handle(unsigned thread_id) { return Handle(*this, thread_id); }
+
+  using Base::unsafe_purge;
+  using Base::unsafe_size;
+
+ private:
+  friend class Handle;
+  const unsigned prefix_bound_;
+};
+
+static_assert(ConcurrentPriorityQueue<LindenQueue<bench_key, bench_value>>);
+
+}  // namespace cpq

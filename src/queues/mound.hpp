@@ -1,0 +1,342 @@
+// Mound priority queue (Liu & Spear, ICPP 2012) — appendix-D extension
+// ("mound", lock-based variant).
+//
+// A mound is a binary tree of sorted lists with the heap invariant on the
+// list heads: val(node) <= val(child), where val is the head key (infinity
+// for an empty list). The two signature operations:
+//
+//   * insert(k): choose a random leaf and binary-search the root-to-leaf
+//     path for the highest node with val >= k whose parent has val <= k;
+//     push k onto that node's list head. Expected O(log log n) val probes
+//     per attempt on a tree of depth log n — inserts never restructure the
+//     tree, which is what makes mounds attractive for concurrency.
+//   * delete_min: pop the root's list head, then "moundify": while the
+//     node's val exceeds the smaller child's, swap the two nodes' entire
+//     lists and recurse into that child.
+//
+// Concurrency: one spinlock per tree node; moundify locks parent before
+// children (ascending index order, the same global lock order as HuntHeap),
+// inserts lock the (parent, node) pair and revalidate before pushing.
+// List cells are reclaimed at destruction/purge only, so racy unlocked
+// val() probes during the binary search are always memory-safe (stale reads
+// are caught by the locked revalidation). The tree grows a level at a time
+// under a dedicated lock.
+//
+// The appendix notes the lock-free variant needs DCAS, "not available
+// natively on most current processors" — hence, like Liu & Spear's own
+// evaluation of that variant, we implement the lock-based mound.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "platform/cache.hpp"
+#include "platform/rng.hpp"
+#include "platform/spinlock.hpp"
+#include "queues/queue_traits.hpp"
+
+namespace cpq {
+
+template <typename Key, typename Value>
+class Mound {
+ public:
+  using key_type = Key;
+  using value_type = Value;
+
+  static constexpr unsigned kMaxDepth = 28;  // up to ~2^28 tree nodes
+
+  explicit Mound(unsigned max_threads = 0, std::uint64_t seed = 1,
+                 unsigned initial_depth = 4)
+      : seed_(seed) {
+    (void)max_threads;
+    levels_.resize(kMaxDepth + 1);
+    for (unsigned level = 0; level <= initial_depth; ++level) {
+      levels_[level] = std::make_unique<TreeNode[]>(std::size_t{1} << level);
+    }
+    depth_.store(initial_depth, std::memory_order_release);
+  }
+
+  ~Mound() {
+    const unsigned depth = depth_.load(std::memory_order_acquire);
+    for (unsigned level = 0; level <= depth; ++level) {
+      const std::size_t width = std::size_t{1} << level;
+      for (std::size_t i = 0; i < width; ++i) {
+        ListNode* cell = levels_[level][i].head.load(std::memory_order_relaxed);
+        while (cell) {
+          ListNode* next = cell->next;
+          delete cell;
+          cell = next;
+        }
+      }
+    }
+    ListNode* retired = retired_.load(std::memory_order_relaxed);
+    while (retired) {
+      ListNode* next = retired->next;
+      delete retired;
+      retired = next;
+    }
+  }
+
+  Mound(const Mound&) = delete;
+  Mound& operator=(const Mound&) = delete;
+
+  class Handle {
+   public:
+    Handle(Mound& mound, unsigned thread_id)
+        : mound_(&mound), rng_(thread_seed(mound.seed_, thread_id)) {}
+
+    void insert(Key key, Value value) {
+      Mound& m = *mound_;
+      for (;;) {
+        const unsigned depth = m.depth_.load(std::memory_order_acquire);
+        // Random leaf — its index bits encode the root-to-leaf path.
+        const std::uint64_t leaf =
+            (std::uint64_t{1} << depth) + m_rng_below(std::uint64_t{1} << depth);
+        // Binary search the path for the highest node with val >= key.
+        // Path node at path-depth d is (leaf >> (depth - d)).
+        unsigned lo = 0;
+        unsigned hi = depth;
+        unsigned candidate_depth = depth + 1;  // "not found"
+        while (lo <= hi) {
+          const unsigned mid = lo + (hi - lo) / 2;
+          const std::uint64_t index = leaf >> (depth - mid);
+          if (!(m.val(index) < key)) {
+            candidate_depth = mid;
+            if (mid == 0) break;
+            hi = mid - 1;
+          } else {
+            if (mid == hi) break;
+            lo = mid + 1;
+          }
+        }
+        if (candidate_depth > depth) {
+          // Even the leaf's val is < key: the key belongs below the current
+          // leaves; grow the tree and retry.
+          m.grow(depth);
+          continue;
+        }
+        const std::uint64_t index = leaf >> (depth - candidate_depth);
+        if (m.try_push(index, key, value)) return;
+        // Validation failed (a race changed the vals); retry with a fresh
+        // random path.
+      }
+    }
+
+    bool delete_min(Key& key_out, Value& value_out) {
+      Mound& m = *mound_;
+      TreeNode& root = m.node(1);
+      root.lock.lock();
+      ListNode* popped = root.head.load(std::memory_order_relaxed);
+      if (!popped) {
+        // Root empty means the whole mound is empty (heap invariant).
+        root.lock.unlock();
+        return false;
+      }
+      root.head.store(popped->next, std::memory_order_release);
+      key_out = popped->key;
+      value_out = popped->value;
+      m.retire(popped);
+      m.moundify(1);  // releases the root lock
+      return true;
+    }
+
+   private:
+    std::uint64_t m_rng_below(std::uint64_t bound) {
+      return rng_.next_below(bound);
+    }
+
+    Mound* mound_;
+    Xoroshiro128 rng_;
+  };
+
+  Handle get_handle(unsigned thread_id) { return Handle(*this, thread_id); }
+
+  // Quiescent-only: total stored items.
+  std::size_t unsafe_size() const {
+    std::size_t total = 0;
+    const unsigned depth = depth_.load(std::memory_order_acquire);
+    for (unsigned level = 0; level <= depth; ++level) {
+      const std::size_t width = std::size_t{1} << level;
+      for (std::size_t i = 0; i < width; ++i) {
+        for (ListNode* cell =
+                 levels_[level][i].head.load(std::memory_order_relaxed);
+             cell; cell = cell->next) {
+          ++total;
+        }
+      }
+    }
+    return total;
+  }
+
+  // Quiescent-only: heap invariant on heads + sortedness of each list.
+  bool unsafe_invariants_hold() const {
+    const unsigned depth = depth_.load(std::memory_order_acquire);
+    const std::uint64_t max_index = (std::uint64_t{2} << depth) - 1;
+    for (std::uint64_t i = 1; i <= max_index; ++i) {
+      const TreeNode& n = const_cast<Mound*>(this)->node(i);
+      ListNode* nh = n.head.load(std::memory_order_relaxed);
+      for (ListNode* cell = nh; cell && cell->next; cell = cell->next) {
+        if (cell->next->key < cell->key) return false;
+      }
+      if (i > 1) {
+        const TreeNode& parent = const_cast<Mound*>(this)->node(i / 2);
+        ListNode* ph = parent.head.load(std::memory_order_relaxed);
+        if (nh && !ph) return false;
+        if (nh && ph && nh->key < ph->key) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  friend class Handle;
+
+  struct ListNode {
+    Key key;
+    Value value;
+    ListNode* next;
+  };
+
+  struct alignas(kCacheLineSize) TreeNode {
+    Spinlock lock;
+    // Atomic because val() probes it without the lock (the probe result is
+    // revalidated under locks, but the load itself must be race-free).
+    std::atomic<ListNode*> head{nullptr};
+  };
+
+  static constexpr Key kInfinity = std::numeric_limits<Key>::max();
+
+  TreeNode& node(std::uint64_t index) {
+    const unsigned level = std::bit_width(index) - 1;
+    return levels_[level][index - (std::uint64_t{1} << level)];
+  }
+
+  // Racy probe of a node's head key (infinity when empty). Memory-safe
+  // because list cells are only reclaimed at quiescence; correctness is
+  // ensured by locked revalidation in try_push.
+  Key val(std::uint64_t index) {
+    const ListNode* head = node(index).head.load(std::memory_order_acquire);
+    // A racing pop can retire the cell right after this load, but cells are
+    // only reclaimed at quiescence, so reading a stale key is safe.
+    return head ? head->key : kInfinity;
+  }
+
+  // Lock parent and node (in index order), revalidate the insertion
+  // condition val(parent) <= key <= val(node), push on success.
+  bool try_push(std::uint64_t index, Key key, Value value) {
+    TreeNode* parent = index > 1 ? &node(index / 2) : nullptr;
+    TreeNode& target = node(index);
+    if (parent) parent->lock.lock();
+    target.lock.lock();
+    ListNode* parent_head =
+        parent ? parent->head.load(std::memory_order_relaxed) : nullptr;
+    ListNode* target_head = target.head.load(std::memory_order_relaxed);
+    const Key parent_val =
+        parent ? (parent_head ? parent_head->key : kInfinity) : Key{};
+    const Key target_val = target_head ? target_head->key : kInfinity;
+    const bool parent_ok = !parent || !(key < parent_val);
+    const bool target_ok = !(target_val < key);
+    if (parent_ok && target_ok) {
+      target.head.store(new ListNode{key, value, target_head},
+                        std::memory_order_release);
+      target.lock.unlock();
+      if (parent) parent->lock.unlock();
+      return true;
+    }
+    target.lock.unlock();
+    if (parent) parent->lock.unlock();
+    return false;
+  }
+
+  // Restore the heap invariant below `index`; caller holds its lock, which
+  // is released before returning. Locks travel strictly downward.
+  void moundify(std::uint64_t index) {
+    for (;;) {
+      const unsigned depth = depth_.load(std::memory_order_acquire);
+      const std::uint64_t left = 2 * index;
+      if ((left >> (depth + 1)) != 0) {
+        // `index` is a leaf at the current depth.
+        node(index).lock.unlock();
+        return;
+      }
+      TreeNode& n = node(index);
+      TreeNode& l = node(left);
+      TreeNode& r = node(left + 1);
+      l.lock.lock();
+      r.lock.lock();
+      ListNode* nh = n.head.load(std::memory_order_relaxed);
+      ListNode* lh = l.head.load(std::memory_order_relaxed);
+      ListNode* rh = r.head.load(std::memory_order_relaxed);
+      const Key nv = nh ? nh->key : kInfinity;
+      const Key lv = lh ? lh->key : kInfinity;
+      const Key rv = rh ? rh->key : kInfinity;
+      TreeNode* smallest_child = nullptr;
+      std::uint64_t smallest_index = 0;
+      if (lv < nv || rv < nv) {
+        if (rv < lv) {
+          smallest_child = &r;
+          smallest_index = left + 1;
+          l.lock.unlock();
+        } else {
+          smallest_child = &l;
+          smallest_index = left;
+          r.lock.unlock();
+        }
+      }
+      if (!smallest_child) {
+        r.lock.unlock();
+        l.lock.unlock();
+        n.lock.unlock();
+        return;
+      }
+      // Swap the two lists (both locks held; relaxed suffices within, the
+      // unlocks publish).
+      ListNode* mine = n.head.load(std::memory_order_relaxed);
+      n.head.store(smallest_child->head.load(std::memory_order_relaxed),
+                   std::memory_order_release);
+      smallest_child->head.store(mine, std::memory_order_release);
+      n.lock.unlock();
+      index = smallest_index;  // continue holding smallest_child's lock
+    }
+  }
+
+  // Add one tree level. Threads that lost the race simply observe the new
+  // depth.
+  void grow(unsigned observed_depth) {
+    std::lock_guard<Spinlock> lock(grow_lock_.value);
+    const unsigned depth = depth_.load(std::memory_order_acquire);
+    if (depth != observed_depth) return;  // someone already grew
+    if (depth + 1 > kMaxDepth) {
+      assert(!"Mound: maximum depth exceeded");
+      return;
+    }
+    levels_[depth + 1] =
+        std::make_unique<TreeNode[]>(std::size_t{1} << (depth + 1));
+    depth_.store(depth + 1, std::memory_order_release);
+  }
+
+  void retire(ListNode* cell) {
+    ListNode* head = retired_.load(std::memory_order_relaxed);
+    do {
+      cell->next = head;
+    } while (!retired_.compare_exchange_weak(head, cell,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed));
+  }
+
+  const std::uint64_t seed_;
+  std::vector<std::unique_ptr<TreeNode[]>> levels_;
+  std::atomic<unsigned> depth_{0};
+  CacheAligned<Spinlock> grow_lock_;
+  std::atomic<ListNode*> retired_{nullptr};
+};
+
+static_assert(ConcurrentPriorityQueue<Mound<bench_key, bench_value>>);
+
+}  // namespace cpq

@@ -1,0 +1,62 @@
+// Common conventions for all concurrent priority queues in this library.
+//
+// Every queue Q provides:
+//
+//   using key_type   = ...;   // totally ordered, trivially copyable
+//   using value_type = ...;   // trivially copyable payload
+//   using handle_type = Q::Handle;
+//
+//   Q(unsigned max_threads, ...queue-specific parameters...);
+//   Handle get_handle(unsigned thread_id);   // thread_id in [0, max_threads)
+//
+// and Handle provides:
+//
+//   void insert(key_type key, value_type value);
+//   bool delete_min(key_type& key_out, value_type& value_out);
+//
+// A handle is owned by exactly one thread and holds that thread's state
+// (RNG stream, pointer to its thread-local LSM, ...). Handles are cheap to
+// create; benchmark workers create one at startup. delete_min returns false
+// when the queue appears empty (for relaxed queues this is best-effort, as
+// in the paper's benchmark, where a failed deletion still counts as one
+// completed operation).
+//
+// Strictness levels (paper §A):
+//   * strict:  delete_min returns a minimal item in linearization order
+//              (GlobalLock, Linden, HuntHeap).
+//   * relaxed: delete_min returns one of the rho smallest items, where
+//              rho = kP + 1 for klsm, O(P log^3 P) for SprayList, and
+//              unbounded-but-well-behaved for MultiQueue.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <type_traits>
+
+namespace cpq {
+
+// Default key/value types used by the benchmark (matching the paper's
+// integer keys; values are opaque 64-bit payloads used as item ids by the
+// quality benchmark).
+using bench_key = std::uint64_t;
+using bench_value = std::uint64_t;
+
+template <typename H, typename K, typename V>
+concept PriorityQueueHandle = requires(H h, K k, V v, K& kr, V& vr) {
+  { h.insert(k, v) } -> std::same_as<void>;
+  { h.delete_min(kr, vr) } -> std::same_as<bool>;
+};
+
+template <typename Q>
+concept ConcurrentPriorityQueue = requires(Q q, unsigned tid) {
+  typename Q::key_type;
+  typename Q::value_type;
+  requires std::is_trivially_copyable_v<typename Q::key_type>;
+  requires std::is_trivially_copyable_v<typename Q::value_type>;
+  { q.get_handle(tid) };
+  requires PriorityQueueHandle<decltype(q.get_handle(tid)),
+                               typename Q::key_type,
+                               typename Q::value_type>;
+};
+
+}  // namespace cpq

@@ -1,0 +1,164 @@
+// SprayList (Alistarh, Kopinsky, Li, Shavit; PPoPP 2015) — paper's "spray".
+//
+// A relaxed priority queue over a Fraser-style lock-free skiplist.
+// delete_min performs a "spray": a random walk that starts a few levels up
+// and takes a uniformly random number of steps at each level before
+// descending, landing on (approximately) a uniformly random element among
+// the O(P log^3 P) smallest. The landed-on element is claimed by marking,
+// exactly as in our Lindén implementation. With small probability a deleter
+// becomes a "cleaner" that behaves like Lindén's delete_min and
+// restructures the deleted prefix.
+//
+// The spray parameters follow the shape of the published algorithm:
+// starting height ~ log2(P)+1 and per-level jump lengths uniform in
+// [0, M*(log2(P)+1)] with M configurable (the constants only shift the
+// relaxation/contention trade-off; the paper under reproduction reports the
+// SprayList's *measured* behaviour, which our bench harness regenerates).
+//
+// The paper notes the original SprayList code "was not stable and it was
+// not possible to gather results" outside uniform workloads/keys; this
+// implementation is stable in all configurations, so EXPERIMENTS.md reports
+// data where the paper has gaps.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "platform/rng.hpp"
+#include "queues/queue_traits.hpp"
+#include "queues/skiplist_common.hpp"
+
+namespace cpq {
+
+template <typename Key, typename Value>
+class SprayList : private detail::SkiplistBase<Key, Value> {
+  using Base = detail::SkiplistBase<Key, Value>;
+  using Node = typename Base::Node;
+
+ public:
+  using key_type = Key;
+  using value_type = Value;
+
+  explicit SprayList(unsigned max_threads, unsigned spray_m = 1,
+                     std::uint64_t seed = 1)
+      : Base(seed),
+        threads_(max_threads == 0 ? 1 : max_threads),
+        log_p_(std::bit_width(static_cast<unsigned>(
+                   threads_ <= 1 ? 1u : threads_ - 1)) +
+               1),
+        spray_m_(spray_m == 0 ? 1 : spray_m) {}
+
+  class Handle {
+   public:
+    Handle(SprayList& queue, unsigned thread_id)
+        : queue_(&queue), rng_(thread_seed(queue.seed_, thread_id)) {}
+
+    void insert(Key key, Value value) {
+      queue_->insert_node(key, value, rng_);
+    }
+
+    bool delete_min(Key& key_out, Value& value_out) {
+      SprayList& q = *queue_;
+      // ~1/P of deleters act as cleaners: take the true front element and
+      // restructure the prefix, so sprayed-over minima cannot linger.
+      if (rng_.next_below(q.threads_) == 0) {
+        return linden_style_pop(key_out, value_out);
+      }
+      for (unsigned attempt = 0; attempt < kSprayAttempts; ++attempt) {
+        Node* node = spray();
+        // Walk forward from the landing point to the first live node.
+        unsigned scan = 0;
+        while (node != q.tail_ && scan < kScanBound) {
+          const std::uintptr_t word =
+              node->next[0].load(std::memory_order_acquire);
+          if (!Base::word_marked(word)) {
+            const std::uintptr_t old_word =
+                node->next[0].fetch_or(1, std::memory_order_acq_rel);
+            if (!Base::word_marked(old_word)) {
+              key_out = node->key;
+              value_out = node->value;
+              q.push_retired(node);
+              return true;
+            }
+          }
+          node = Base::unpack(word);
+          ++scan;
+        }
+      }
+      // Sprays kept colliding; fall back to a deterministic front pop that
+      // can also detect emptiness.
+      return linden_style_pop(key_out, value_out);
+    }
+
+   private:
+    static constexpr unsigned kSprayAttempts = 2;
+    static constexpr unsigned kScanBound = 64;
+
+    // Random descent: uniform jumps of [0, M*(log2 P + 1)] per level
+    // starting at height log2(P)+1. Returns the landing node (may be head_).
+    Node* spray() {
+      SprayList& q = *queue_;
+      const unsigned start_level =
+          q.log_p_ < Base::kMaxHeight ? q.log_p_ : Base::kMaxHeight - 1;
+      const std::uint64_t max_jump =
+          static_cast<std::uint64_t>(q.spray_m_) * (q.log_p_ + 1);
+      Node* node = q.head_;
+      for (unsigned level = start_level + 1; level-- > 0;) {
+        std::uint64_t jump = rng_.next_below(max_jump + 1);
+        while (jump-- > 0) {
+          Node* next = Base::unpack(
+              node->next[level].load(std::memory_order_acquire));
+          if (next == q.tail_) break;
+          node = next;
+        }
+        if (level == 0) break;
+      }
+      if (node == q.head_) {
+        node = Base::unpack(q.head_->next[0].load(std::memory_order_acquire));
+      }
+      return node;
+    }
+
+    bool linden_style_pop(Key& key_out, Value& value_out) {
+      SprayList& q = *queue_;
+      unsigned deleted_prefix = 0;
+      Node* node =
+          Base::unpack(q.head_->next[0].load(std::memory_order_acquire));
+      while (node != q.tail_) {
+        const std::uintptr_t old_word =
+            node->next[0].fetch_or(1, std::memory_order_acq_rel);
+        if (!Base::word_marked(old_word)) {
+          key_out = node->key;
+          value_out = node->value;
+          q.push_retired(node);
+          if (deleted_prefix >= kPrefixBound) q.clean_prefix();
+          return true;
+        }
+        ++deleted_prefix;
+        node = Base::unpack(old_word);
+      }
+      if (deleted_prefix >= kPrefixBound) q.clean_prefix();
+      return false;
+    }
+
+    static constexpr unsigned kPrefixBound = 32;
+
+    SprayList* queue_;
+    Xoroshiro128 rng_;
+  };
+
+  Handle get_handle(unsigned thread_id) { return Handle(*this, thread_id); }
+
+  using Base::unsafe_purge;
+  using Base::unsafe_size;
+
+ private:
+  friend class Handle;
+  const unsigned threads_;
+  const unsigned log_p_;
+  const unsigned spray_m_;
+};
+
+static_assert(ConcurrentPriorityQueue<SprayList<bench_key, bench_value>>);
+
+}  // namespace cpq

@@ -1,0 +1,99 @@
+// Sundell–Tsigas-style skiplist priority queue — extension ("sundell").
+//
+// Sundell and Tsigas built the first lock-free concurrent priority queue
+// (2003), one of the three skiplist lineages the paper's §1 cites alongside
+// Shavit–Lotan and Lindén–Jonsson. Its distinguishing trait, transplanted
+// onto our shared substrate, is *cooperative* physical cleanup through
+// helping: delete_min only claims the front node (one fetch_or, like
+// Lindén) and does no restructuring of its own; logically deleted nodes are
+// unlinked by whoever traverses past them — which in a priority queue means
+// the inserters' searches (our SkiplistBase::search already snips marked
+// nodes on its path, the Harris/Sundell helping rule).
+//
+// The three variants thus span the cleanup design space on one substrate:
+//   * linden — deleters clean, lazily in batches (prefix restructure);
+//   * slotan — deleters clean, eagerly per deletion;
+//   * sundell — deleters never clean; traversals (inserts) help.
+// bench-wise, sundell shifts the cleanup cost from the delete path to the
+// insert path; under deletion-heavy phases the marked prefix grows until
+// the next insert sweeps it, so a safety valve triggers a prefix
+// restructure when the walked prefix exceeds a large bound.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/rng.hpp"
+#include "queues/queue_traits.hpp"
+#include "queues/skiplist_common.hpp"
+
+namespace cpq {
+
+template <typename Key, typename Value>
+class SundellTsigasQueue : private detail::SkiplistBase<Key, Value> {
+  using Base = detail::SkiplistBase<Key, Value>;
+  using Node = typename Base::Node;
+
+ public:
+  using key_type = Key;
+  using value_type = Value;
+
+  explicit SundellTsigasQueue(unsigned max_threads = 0,
+                              std::uint64_t seed = 1,
+                              unsigned prefix_safety_bound = 1024)
+      : Base(seed), prefix_safety_bound_(prefix_safety_bound) {
+    (void)max_threads;
+  }
+
+  class Handle {
+   public:
+    Handle(SundellTsigasQueue& queue, unsigned thread_id)
+        : queue_(&queue), rng_(thread_seed(queue.seed_, thread_id)) {}
+
+    void insert(Key key, Value value) {
+      // insert_node's search snips every marked node on its path — the
+      // helping that keeps the structure tidy in this variant.
+      queue_->insert_node(key, value, rng_);
+    }
+
+    bool delete_min(Key& key_out, Value& value_out) {
+      SundellTsigasQueue& q = *queue_;
+      unsigned walked = 0;
+      Node* node =
+          Base::unpack(q.head_->next[0].load(std::memory_order_acquire));
+      while (node != q.tail_) {
+        const std::uintptr_t old_word =
+            node->next[0].fetch_or(1, std::memory_order_acq_rel);
+        if (!Base::word_marked(old_word)) {
+          key_out = node->key;
+          value_out = node->value;
+          q.push_retired(node);
+          // Safety valve only: without inserts, nobody would ever clean.
+          if (walked >= q.prefix_safety_bound_) q.clean_prefix();
+          return true;
+        }
+        ++walked;
+        node = Base::unpack(old_word);
+      }
+      if (walked >= q.prefix_safety_bound_) q.clean_prefix();
+      return false;
+    }
+
+   private:
+    SundellTsigasQueue* queue_;
+    Xoroshiro128 rng_;
+  };
+
+  Handle get_handle(unsigned thread_id) { return Handle(*this, thread_id); }
+
+  using Base::unsafe_purge;
+  using Base::unsafe_size;
+
+ private:
+  friend class Handle;
+  const unsigned prefix_safety_bound_;
+};
+
+static_assert(
+    ConcurrentPriorityQueue<SundellTsigasQueue<bench_key, bench_value>>);
+
+}  // namespace cpq

@@ -1,0 +1,105 @@
+// Sequential binary min-heap.
+//
+// This is the "simple priority queue implementation provided by the C++
+// Standard Library" role from the paper (std::priority_queue): it backs the
+// GlobalLock baseline and the MultiQueue's per-queue instances. We implement
+// it ourselves (a) so the repository is self-contained, and (b) so the heap
+// stores key/value pairs with a min-heap order without comparator adapters.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace cpq::seq {
+
+template <typename Key, typename Value>
+class BinaryHeap {
+ public:
+  using key_type = Key;
+  using value_type = Value;
+
+  BinaryHeap() = default;
+
+  explicit BinaryHeap(std::size_t initial_capacity) {
+    items_.reserve(initial_capacity);
+  }
+
+  bool empty() const noexcept { return items_.empty(); }
+  std::size_t size() const noexcept { return items_.size(); }
+
+  void clear() noexcept { items_.clear(); }
+
+  void reserve(std::size_t n) { items_.reserve(n); }
+
+  void insert(Key key, Value value) {
+    items_.emplace_back(std::move(key), std::move(value));
+    sift_up(items_.size() - 1);
+  }
+
+  // Smallest key currently stored. Precondition: !empty().
+  const Key& min_key() const noexcept {
+    assert(!empty());
+    return items_.front().first;
+  }
+
+  const Value& min_value() const noexcept {
+    assert(!empty());
+    return items_.front().second;
+  }
+
+  // Remove the minimum; returns false when empty.
+  bool delete_min(Key& key_out, Value& value_out) {
+    if (items_.empty()) return false;
+    key_out = std::move(items_.front().first);
+    value_out = std::move(items_.front().second);
+    items_.front() = std::move(items_.back());
+    items_.pop_back();
+    if (!items_.empty()) sift_down(0);
+    return true;
+  }
+
+  // Heap property check for tests.
+  bool is_valid_heap() const noexcept {
+    for (std::size_t i = 1; i < items_.size(); ++i) {
+      if (items_[i].first < items_[parent(i)].first) return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr std::size_t parent(std::size_t i) noexcept {
+    return (i - 1) / 2;
+  }
+
+  void sift_up(std::size_t i) noexcept {
+    auto item = std::move(items_[i]);
+    while (i > 0 && item.first < items_[parent(i)].first) {
+      items_[i] = std::move(items_[parent(i)]);
+      i = parent(i);
+    }
+    items_[i] = std::move(item);
+  }
+
+  void sift_down(std::size_t i) noexcept {
+    const std::size_t n = items_.size();
+    auto item = std::move(items_[i]);
+    for (;;) {
+      std::size_t smallest = 2 * i + 1;
+      if (smallest >= n) break;
+      if (smallest + 1 < n &&
+          items_[smallest + 1].first < items_[smallest].first) {
+        ++smallest;
+      }
+      if (!(items_[smallest].first < item.first)) break;
+      items_[i] = std::move(items_[smallest]);
+      i = smallest;
+    }
+    items_[i] = std::move(item);
+  }
+
+  std::vector<std::pair<Key, Value>> items_;
+};
+
+}  // namespace cpq::seq

@@ -1,0 +1,182 @@
+// Order-statistic treap: the rank-replay engine of the quality benchmark.
+//
+// The paper's rank-error benchmark (§F) reconstructs a global linear
+// sequence of all logged operations and replays it against "a specialized
+// sequential priority queue ... to efficiently determine the rank of all
+// deleted items". That specialized structure must support:
+//   * insert(key, id)                 — id makes every item unique
+//   * erase(key, id) -> rank          — 1-based position among stored items
+// in O(log n). A treap augmented with subtree sizes does exactly this.
+//
+// Items are ordered by (key, id). Ordering duplicates by id makes the
+// reported rank "pessimistic" for duplicate keys, exactly as the paper
+// describes its own quality benchmark.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "platform/rng.hpp"
+
+namespace cpq::seq {
+
+template <typename Key>
+class OrderStatisticTree {
+ public:
+  OrderStatisticTree() : rng_(0x05717e5eedULL) {}
+
+  explicit OrderStatisticTree(std::uint64_t seed) : rng_(seed) {}
+
+  ~OrderStatisticTree() { destroy(root_); }
+
+  OrderStatisticTree(const OrderStatisticTree&) = delete;
+  OrderStatisticTree& operator=(const OrderStatisticTree&) = delete;
+
+  std::size_t size() const noexcept { return count(root_); }
+  bool empty() const noexcept { return root_ == nullptr; }
+
+  void insert(Key key, std::uint64_t id) {
+    Node* node = new Node{std::move(key), id, rng_.next(), 1, nullptr, nullptr};
+    root_ = insert_node(root_, node);
+  }
+
+  // Erase the item (key, id); returns its 1-based rank, or 0 if not found.
+  std::size_t erase(const Key& key, std::uint64_t id) {
+    std::size_t rank = 0;
+    bool found = false;
+    root_ = erase_node(root_, key, id, rank, found);
+    return found ? rank + 1 : 0;
+  }
+
+  // 1-based rank the item would have; 0 if absent. For tests.
+  std::size_t rank_of(const Key& key, std::uint64_t id) const {
+    const Node* node = root_;
+    std::size_t before = 0;
+    while (node) {
+      if (less(key, id, *node)) {
+        node = node->left;
+      } else if (less(*node, key, id)) {
+        before += count(node->left) + 1;
+        node = node->right;
+      } else {
+        return before + count(node->left) + 1;
+      }
+    }
+    return 0;
+  }
+
+  // Smallest stored key (for sanity checks); precondition: !empty().
+  const Key& min_key() const noexcept {
+    assert(root_);
+    const Node* node = root_;
+    while (node->left) node = node->left;
+    return node->key;
+  }
+
+ private:
+  struct Node {
+    Key key;
+    std::uint64_t id;
+    std::uint64_t priority;
+    std::size_t size;
+    Node* left;
+    Node* right;
+  };
+
+  static std::size_t count(const Node* n) noexcept { return n ? n->size : 0; }
+
+  static void update(Node* n) noexcept {
+    n->size = 1 + count(n->left) + count(n->right);
+  }
+
+  static bool less(const Key& key, std::uint64_t id, const Node& n) noexcept {
+    return key < n.key || (!(n.key < key) && id < n.id);
+  }
+
+  static bool less(const Node& n, const Key& key, std::uint64_t id) noexcept {
+    return n.key < key || (!(key < n.key) && n.id < id);
+  }
+
+  static Node* rotate_right(Node* n) noexcept {
+    Node* l = n->left;
+    n->left = l->right;
+    l->right = n;
+    update(n);
+    update(l);
+    return l;
+  }
+
+  static Node* rotate_left(Node* n) noexcept {
+    Node* r = n->right;
+    n->right = r->left;
+    r->left = n;
+    update(n);
+    update(r);
+    return r;
+  }
+
+  static Node* insert_node(Node* root, Node* node) {
+    if (!root) return node;
+    if (less(node->key, node->id, *root)) {
+      root->left = insert_node(root->left, node);
+      update(root);
+      if (root->left->priority < root->priority) root = rotate_right(root);
+    } else {
+      root->right = insert_node(root->right, node);
+      update(root);
+      if (root->right->priority < root->priority) root = rotate_left(root);
+    }
+    return root;
+  }
+
+  static Node* erase_node(Node* root, const Key& key, std::uint64_t id,
+                          std::size_t& items_before, bool& found) {
+    if (!root) return nullptr;
+    if (less(key, id, *root)) {
+      root->left = erase_node(root->left, key, id, items_before, found);
+    } else if (less(*root, key, id)) {
+      items_before += count(root->left) + 1;
+      root->right = erase_node(root->right, key, id, items_before, found);
+    } else {
+      found = true;
+      items_before += count(root->left);
+      root = remove_root(root);
+      return root;
+    }
+    if (found) update(root);
+    return root;
+  }
+
+  // Rotate the doomed node down to a leaf (choosing the child with the
+  // smaller priority as the new subtree root), then delete it.
+  static Node* remove_root(Node* n) {
+    if (!n->left && !n->right) {
+      delete n;
+      return nullptr;
+    }
+    if (!n->left || (n->right && n->right->priority < n->left->priority)) {
+      Node* r = rotate_left(n);
+      r->left = remove_root(n);
+      update(r);
+      return r;
+    }
+    Node* l = rotate_right(n);
+    l->right = remove_root(n);
+    update(l);
+    return l;
+  }
+
+  static void destroy(Node* n) noexcept {
+    if (!n) return;
+    destroy(n->left);
+    destroy(n->right);
+    delete n;
+  }
+
+  Node* root_ = nullptr;
+  Xoroshiro128 rng_;
+};
+
+}  // namespace cpq::seq

@@ -1,0 +1,208 @@
+// Sequential Log-Structured Merge priority queue.
+//
+// The LSM is the building block of the k-LSM (paper §B): a logarithmic
+// number of sorted arrays ("blocks") with distinct power-of-two capacities;
+// a block of capacity C holds more than C/2 and at most C items. Insertion
+// adds a singleton block and merges equal-capacity blocks until capacities
+// are distinct again; delete_min removes the smallest front item across
+// blocks. Both operations are O(log n) amortized.
+//
+// This sequential variant is used (a) standalone as a benchmarkable
+// sequential queue, (b) as the reference semantics for the DLSM/SLSM tests,
+// and (c) to document the merge/shrink rules in one concurrent-free place.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace cpq::seq {
+
+template <typename Key, typename Value>
+class SeqLsm {
+ public:
+  using key_type = Key;
+  using value_type = Value;
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  void clear() noexcept {
+    blocks_.clear();
+    size_ = 0;
+  }
+
+  void insert(Key key, Value value) {
+    Block singleton;
+    singleton.items.emplace_back(std::move(key), std::move(value));
+    singleton.capacity = 1;
+    blocks_.push_back(std::move(singleton));
+    ++size_;
+    merge_cascade();
+  }
+
+  // Peek the global minimum. Returns false when empty.
+  bool peek_min(Key& key_out, Value& value_out) const {
+    const Block* best = find_min_block();
+    if (!best) return false;
+    key_out = best->front().first;
+    value_out = best->front().second;
+    return true;
+  }
+
+  bool delete_min(Key& key_out, Value& value_out) {
+    Block* best = find_min_block();
+    if (!best) return false;
+    key_out = std::move(best->items[best->head].first);
+    value_out = std::move(best->items[best->head].second);
+    ++best->head;
+    --size_;
+    shrink_if_sparse(best);
+    return true;
+  }
+
+  std::size_t block_count() const noexcept { return blocks_.size(); }
+
+  // Invariant checks used by the test suite.
+  bool invariants_hold() const {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+      const Block& b = blocks_[i];
+      if (b.size() == 0) return false;                      // no empty blocks
+      if ((b.capacity & (b.capacity - 1)) != 0) return false;  // power of two
+      if (b.size() > b.capacity) return false;
+      if (b.capacity > 1 && b.size() * 2 <= b.capacity) return false;
+      for (std::size_t j = b.head + 1; j < b.items.size(); ++j) {
+        if (b.items[j].first < b.items[j - 1].first) return false;  // sorted
+      }
+      // Capacities strictly decreasing => distinct.
+      if (i > 0 && blocks_[i - 1].capacity <= b.capacity) return false;
+      total += b.size();
+    }
+    return total == size_;
+  }
+
+ private:
+  struct Block {
+    std::vector<std::pair<Key, Value>> items;  // sorted ascending by key
+    std::size_t head = 0;                      // logical front
+    std::size_t capacity = 1;
+
+    std::size_t size() const noexcept { return items.size() - head; }
+    const std::pair<Key, Value>& front() const noexcept {
+      return items[head];
+    }
+  };
+
+  static std::size_t capacity_for(std::size_t n) noexcept {
+    std::size_t c = 1;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
+  // Merge the two live portions into a fresh sorted block.
+  static Block merge_blocks(Block& a, Block& b) {
+    Block out;
+    out.items.reserve(a.size() + b.size());
+    std::size_t i = a.head;
+    std::size_t j = b.head;
+    while (i < a.items.size() && j < b.items.size()) {
+      if (b.items[j].first < a.items[i].first) {
+        out.items.push_back(std::move(b.items[j++]));
+      } else {
+        out.items.push_back(std::move(a.items[i++]));
+      }
+    }
+    while (i < a.items.size()) out.items.push_back(std::move(a.items[i++]));
+    while (j < b.items.size()) out.items.push_back(std::move(b.items[j++]));
+    out.capacity = capacity_for(out.items.size());
+    return out;
+  }
+
+  // Restore the "distinct capacities, sorted descending" invariant by
+  // merging from the tail (smallest capacities live at the back).
+  void merge_cascade() {
+    while (blocks_.size() >= 2) {
+      Block& last = blocks_[blocks_.size() - 1];
+      Block& prev = blocks_[blocks_.size() - 2];
+      if (prev.capacity > last.capacity) break;
+      Block merged = merge_blocks(prev, last);
+      blocks_.pop_back();
+      blocks_.back() = std::move(merged);
+      // The merged block can still equal its new predecessor's capacity;
+      // the loop continues until capacities are strictly decreasing.
+    }
+  }
+
+  Block* find_min_block() noexcept {
+    Block* best = nullptr;
+    for (Block& b : blocks_) {
+      if (b.size() == 0) continue;
+      if (!best || b.front().first < best->front().first) best = &b;
+    }
+    return best;
+  }
+
+  const Block* find_min_block() const noexcept {
+    return const_cast<SeqLsm*>(this)->find_min_block();
+  }
+
+  // After a deletion, a block whose live portion fell to half its capacity
+  // or below is compacted to a tighter capacity, which may enable merges.
+  void shrink_if_sparse(Block* block) {
+    if (block->size() == 0) {
+      blocks_.erase(blocks_.begin() + (block - blocks_.data()));
+      return;
+    }
+    if (block->capacity == 1 || block->size() * 2 > block->capacity) return;
+    Block compact;
+    compact.items.reserve(block->size());
+    for (std::size_t i = block->head; i < block->items.size(); ++i) {
+      compact.items.push_back(std::move(block->items[i]));
+    }
+    compact.capacity = capacity_for(compact.items.size());
+    *block = std::move(compact);
+    resort_and_merge();
+  }
+
+  // Compaction can break the descending-capacity order; restore it by a
+  // simple stable pass (block counts are logarithmic, so this is cheap).
+  void resort_and_merge() {
+    for (std::size_t i = 1; i < blocks_.size(); ++i) {
+      std::size_t j = i;
+      while (j > 0 && blocks_[j - 1].capacity < blocks_[j].capacity) {
+        std::swap(blocks_[j - 1], blocks_[j]);
+        --j;
+      }
+    }
+    // Merge any equal-capacity neighbours (scan from the back).
+    bool merged = true;
+    while (merged) {
+      merged = false;
+      for (std::size_t i = blocks_.size(); i-- > 1;) {
+        if (blocks_[i - 1].capacity == blocks_[i].capacity) {
+          Block m = merge_blocks(blocks_[i - 1], blocks_[i]);
+          blocks_.erase(blocks_.begin() + i);
+          blocks_[i - 1] = std::move(m);
+          merged = true;
+          break;
+        }
+      }
+      if (merged) {
+        for (std::size_t i = 1; i < blocks_.size(); ++i) {
+          std::size_t j = i;
+          while (j > 0 && blocks_[j - 1].capacity < blocks_[j].capacity) {
+            std::swap(blocks_[j - 1], blocks_[j]);
+            --j;
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<Block> blocks_;  // capacities strictly decreasing
+  std::size_t size_ = 0;
+};
+
+}  // namespace cpq::seq

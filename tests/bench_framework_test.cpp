@@ -1,0 +1,280 @@
+// Tests for the benchmark framework itself: key generators, workload
+// choosers, statistics, the rank-error replay engine, table rendering, and
+// option parsing.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_framework/harness.hpp"
+#include "bench_framework/keygen.hpp"
+#include "bench_framework/options.hpp"
+#include "bench_framework/stats.hpp"
+#include "bench_framework/table.hpp"
+#include "bench_framework/workload.hpp"
+
+namespace cpq::bench {
+namespace {
+
+// ---- key generators --------------------------------------------------
+
+TEST(KeyGen, UniformStaysInRange) {
+  for (const unsigned bits : {8u, 16u, 32u}) {
+    KeyGenerator gen(KeyConfig::uniform(bits), 1, 0);
+    const std::uint64_t limit = std::uint64_t{1} << bits;
+    for (int i = 0; i < 10000; ++i) EXPECT_LT(gen.next(), limit);
+  }
+}
+
+TEST(KeyGen, Uniform8BitHitsManyDuplicates) {
+  KeyGenerator gen(KeyConfig::uniform(8), 1, 0);
+  std::vector<int> buckets(256, 0);
+  for (int i = 0; i < 25600; ++i) ++buckets[gen.next()];
+  int covered = 0;
+  for (int count : buckets) covered += (count > 0);
+  EXPECT_GT(covered, 250);  // all byte values show up
+}
+
+TEST(KeyGen, AscendingTrendsUpward) {
+  KeyGenerator gen(KeyConfig::ascending(10), 1, 0);
+  const int n = 20000;
+  std::uint64_t early = 0, late = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t key = gen.next();
+    if (i < n / 4) early += key;
+    if (i >= 3 * n / 4) late += key;
+  }
+  EXPECT_GT(late, early);  // strong upward drift
+}
+
+TEST(KeyGen, DescendingTrendsDownward) {
+  KeyGenerator gen(KeyConfig::descending(10), 1, 0);
+  const int n = 20000;
+  std::uint64_t early = 0, late = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t key = gen.next();
+    if (i < n / 4) early += key;
+    if (i >= 3 * n / 4) late += key;
+  }
+  EXPECT_LT(late, early);
+  // Never underflows.
+  KeyGenerator deep(KeyConfig::descending(4), 1, 0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(deep.next(), KeyGenerator::kDescendingStart + 16);
+  }
+}
+
+TEST(KeyGen, HoldFollowsLastDeleted) {
+  KeyGenerator gen(KeyConfig::hold(4), 1, 0);
+  gen.observe_deleted(1000);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t key = gen.next();
+    EXPECT_GE(key, 1000u);
+    EXPECT_LT(key, 1016u);
+  }
+  gen.observe_deleted(5000);
+  EXPECT_GE(gen.next(), 5000u);
+}
+
+TEST(KeyGen, DeterministicPerThreadStream) {
+  KeyGenerator a(KeyConfig::uniform(32), 42, 3);
+  KeyGenerator b(KeyConfig::uniform(32), 42, 3);
+  KeyGenerator c(KeyConfig::uniform(32), 42, 4);
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto ka = a.next();
+    EXPECT_EQ(ka, b.next());
+    differs |= (ka != c.next());
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(KeyGen, ConfigNames) {
+  EXPECT_EQ(KeyConfig::uniform(32).name(), "uniform32");
+  EXPECT_EQ(KeyConfig::uniform(8).name(), "uniform8");
+  EXPECT_EQ(KeyConfig::ascending().name(), "ascending");
+  EXPECT_EQ(KeyConfig::descending().name(), "descending");
+  EXPECT_EQ(KeyConfig::hold().name(), "hold");
+}
+
+// ---- workload choosers -------------------------------------------------
+
+TEST(Workload, UniformIsRoughlyBalanced) {
+  OpChooser chooser(Workload::kUniform, 0, 4, 1);
+  int inserts = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) inserts += chooser.next_is_insert();
+  EXPECT_GT(inserts, n * 0.47);
+  EXPECT_LT(inserts, n * 0.53);
+}
+
+TEST(Workload, InsertFractionIsHonoured) {
+  OpChooser chooser(Workload::kUniform, 0, 4, 1, 0.8);
+  int inserts = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) inserts += chooser.next_is_insert();
+  EXPECT_GT(inserts, n * 0.77);
+  EXPECT_LT(inserts, n * 0.83);
+}
+
+TEST(Workload, SplitAssignsHalves) {
+  // 4 threads: 0,1 insert; 2,3 delete.
+  for (unsigned tid = 0; tid < 4; ++tid) {
+    OpChooser chooser(Workload::kSplit, tid, 4, 1);
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(chooser.next_is_insert(), tid < 2);
+    }
+  }
+  // Odd thread counts: 3 threads -> 2 inserters.
+  OpChooser chooser(Workload::kSplit, 1, 3, 1);
+  EXPECT_TRUE(chooser.next_is_insert());
+  OpChooser deleter(Workload::kSplit, 2, 3, 1);
+  EXPECT_FALSE(deleter.next_is_insert());
+}
+
+TEST(Workload, AlternatingStrictlyAlternates) {
+  OpChooser chooser(Workload::kAlternating, 0, 1, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(chooser.next_is_insert());
+    EXPECT_FALSE(chooser.next_is_insert());
+  }
+}
+
+TEST(Workload, BatchAlternatesInBlocks) {
+  OpChooser chooser(Workload::kBatch, 0, 1, 1, 0.5, /*batch_size=*/4);
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(chooser.next_is_insert());
+    for (int i = 0; i < 4; ++i) EXPECT_FALSE(chooser.next_is_insert());
+  }
+  // Batch size 1 degenerates to strict alternation; size 0 is repaired to 1.
+  OpChooser degenerate(Workload::kBatch, 0, 1, 1, 0.5, 0);
+  EXPECT_TRUE(degenerate.next_is_insert());
+  EXPECT_FALSE(degenerate.next_is_insert());
+  EXPECT_TRUE(degenerate.next_is_insert());
+}
+
+// ---- stats --------------------------------------------------------------
+
+TEST(Stats, KnownValues) {
+  const Summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.138, 0.001);
+  EXPECT_GT(s.ci95, 0.0);
+}
+
+TEST(Stats, DegenerateCases) {
+  EXPECT_EQ(summarize({}).n, 0u);
+  const Summary one = summarize({3.5});
+  EXPECT_DOUBLE_EQ(one.mean, 3.5);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(one.ci95, 0.0);
+}
+
+TEST(Stats, TQuantileMatchesTable) {
+  EXPECT_NEAR(t_quantile_95(2), 4.303, 1e-9);
+  EXPECT_NEAR(t_quantile_95(9), 2.262, 1e-9);
+  EXPECT_NEAR(t_quantile_95(1000), 1.96, 1e-9);
+}
+
+// ---- replay -------------------------------------------------------------
+
+TEST(Replay, StrictSequenceHasZeroRankError) {
+  // Insert 0..9, then delete them in key order: every deletion removes the
+  // current minimum -> rank error 0 for all.
+  std::vector<std::vector<OpLogEntry>> logs(1);
+  std::uint64_t ts = 0;
+  for (std::uint64_t i = 0; i < 10; ++i) logs[0].push_back({ts++, i, i, true});
+  for (std::uint64_t i = 0; i < 10; ++i) logs[0].push_back({ts++, i, i, false});
+  std::vector<double> errors;
+  std::uint64_t max_err = 99;
+  replay_rank_errors(logs, errors, max_err);
+  ASSERT_EQ(errors.size(), 10u);
+  for (double e : errors) EXPECT_DOUBLE_EQ(e, 0.0);
+  EXPECT_EQ(max_err, 0u);
+}
+
+TEST(Replay, RelaxedDeletionGetsPositiveRank) {
+  // Insert keys 10,20,30; delete 30 first (rank error 2), then 10 (0),
+  // then 20 (0).
+  std::vector<std::vector<OpLogEntry>> logs(1);
+  logs[0] = {
+      {1, 10, 100, true}, {2, 20, 200, true}, {3, 30, 300, true},
+      {4, 30, 300, false}, {5, 10, 100, false}, {6, 20, 200, false},
+  };
+  std::vector<double> errors;
+  std::uint64_t max_err = 0;
+  replay_rank_errors(logs, errors, max_err);
+  ASSERT_EQ(errors.size(), 3u);
+  EXPECT_DOUBLE_EQ(errors[0], 2.0);
+  EXPECT_DOUBLE_EQ(errors[1], 0.0);
+  EXPECT_DOUBLE_EQ(errors[2], 0.0);
+  EXPECT_EQ(max_err, 2u);
+}
+
+TEST(Replay, OutOfOrderDeleteIsDeferredToItsInsert) {
+  // The delete of id 7 is logged with an earlier timestamp than its insert
+  // (possible under racing timestamps); the replay must still account it.
+  std::vector<std::vector<OpLogEntry>> logs(2);
+  logs[0] = {{5, 50, 7, false}};
+  logs[1] = {{2, 40, 1, true}, {8, 50, 7, true}};
+  std::vector<double> errors;
+  std::uint64_t max_err = 0;
+  replay_rank_errors(logs, errors, max_err);
+  ASSERT_EQ(errors.size(), 1u);
+  // At the deferred point the tree holds {40, 50}; 50 has rank 2.
+  EXPECT_DOUBLE_EQ(errors[0], 1.0);
+}
+
+TEST(Replay, MergesLogsFromManyThreadsByTimestamp) {
+  std::vector<std::vector<OpLogEntry>> logs(3);
+  logs[0] = {{1, 5, 1, true}, {4, 5, 1, false}};
+  logs[1] = {{2, 3, 2, true}};
+  logs[2] = {{3, 9, 3, true}, {6, 3, 2, false}, {7, 9, 3, false}};
+  std::vector<double> errors;
+  std::uint64_t max_err = 0;
+  replay_rank_errors(logs, errors, max_err);
+  ASSERT_EQ(errors.size(), 3u);
+  // ts4: delete key 5 while {3,5,9} present -> rank error 1.
+  EXPECT_DOUBLE_EQ(errors[0], 1.0);
+  EXPECT_DOUBLE_EQ(errors[1], 0.0);
+  EXPECT_DOUBLE_EQ(errors[2], 0.0);
+}
+
+// ---- table / options ------------------------------------------------------
+
+TEST(Table, FormatsNumbers) {
+  EXPECT_EQ(Table::format_mean_ci(12.345, 0.678), "12.35±0.68");
+}
+
+TEST(Table, PrintSmoke) {
+  Table table("demo", "threads", {"a", "b"});
+  table.add_row("1", {"1.0", "2.0"});
+  table.add_row("2", {"3.0", "4.0"});
+  table.print();  // must not crash; output inspected by humans
+}
+
+TEST(Options, EnvParsing) {
+  setenv("CPQ_THREADS", "1, 2,8", 1);
+  setenv("CPQ_BENCH_MS", "25", 1);
+  setenv("CPQ_BENCH_REPS", "5", 1);
+  setenv("CPQ_PREFILL", "1234", 1);
+  setenv("CPQ_SEED", "77", 1);
+  const Options options = options_from_env();
+  EXPECT_EQ(options.thread_ladder, (std::vector<unsigned>{1, 2, 8}));
+  EXPECT_DOUBLE_EQ(options.duration_s, 0.025);
+  EXPECT_EQ(options.repetitions, 5u);
+  EXPECT_EQ(options.prefill, 1234u);
+  EXPECT_EQ(options.seed, 77u);
+  unsetenv("CPQ_THREADS");
+  unsetenv("CPQ_BENCH_MS");
+  unsetenv("CPQ_BENCH_REPS");
+  unsetenv("CPQ_PREFILL");
+  unsetenv("CPQ_SEED");
+  const Options defaults = options_from_env();
+  EXPECT_EQ(defaults.thread_ladder, (std::vector<unsigned>{1, 2, 4, 8}));
+}
+
+}  // namespace
+}  // namespace cpq::bench

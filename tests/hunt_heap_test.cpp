@@ -1,0 +1,142 @@
+// HuntHeap-specific tests: bit-reversal slot assignment, capacity handling,
+// heap validity at quiescence, and targeted concurrent stress on the
+// insert-vs-delete tag reconciliation protocol.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "platform/rng.hpp"
+#include "platform/thread_util.hpp"
+#include "queues/hunt_heap.hpp"
+
+namespace cpq {
+namespace {
+
+using K = std::uint64_t;
+using V = std::uint64_t;
+
+TEST(HuntHeap, SequentialSortedDrain) {
+  HuntHeap<K, V> heap(1, 1u << 14);
+  auto handle = heap.get_handle(0);
+  Xoroshiro128 rng(1);
+  std::vector<K> keys;
+  for (int i = 0; i < 5000; ++i) {
+    const K key = rng.next_below(2000);
+    keys.push_back(key);
+    handle.insert(key, i);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    K k;
+    V v;
+    ASSERT_TRUE(handle.delete_min(k, v));
+    ASSERT_EQ(k, keys[i]);
+  }
+}
+
+TEST(HuntHeap, CapacityIsRespected) {
+  HuntHeap<K, V> heap(1, 8);
+  auto handle = heap.get_handle(0);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(handle.try_insert(i, i));
+  EXPECT_FALSE(handle.try_insert(99, 99));
+  K k;
+  V v;
+  ASSERT_TRUE(handle.delete_min(k, v));
+  EXPECT_TRUE(handle.try_insert(99, 99));
+}
+
+TEST(HuntHeap, HeapValidAtQuiescence) {
+  HuntHeap<K, V> heap(4, 1u << 14);
+  run_team(4, [&](unsigned tid) {
+    auto handle = heap.get_handle(tid);
+    Xoroshiro128 rng(tid + 1);
+    for (int op = 0; op < 4000; ++op) {
+      if (rng.next_below(100) < 60) {
+        handle.insert(rng.next_below(10000), tid);
+      } else {
+        K k;
+        V v;
+        handle.delete_min(k, v);
+      }
+    }
+  });
+  EXPECT_TRUE(heap.unsafe_is_valid_heap());
+}
+
+TEST(HuntHeap, ConcurrentInsertersOnly) {
+  HuntHeap<K, V> heap(4, 1u << 16);
+  constexpr std::uint64_t per_thread = 8000;
+  run_team(4, [&](unsigned tid) {
+    auto handle = heap.get_handle(tid);
+    Xoroshiro128 rng(tid + 11);
+    for (std::uint64_t i = 0; i < per_thread; ++i) {
+      handle.insert(rng.next_below(1u << 20),
+                    (static_cast<V>(tid) << 32) | i);
+    }
+  });
+  EXPECT_EQ(heap.unsafe_size(), 4 * per_thread);
+  EXPECT_TRUE(heap.unsafe_is_valid_heap());
+  // Drain sorted.
+  auto handle = heap.get_handle(0);
+  K prev = 0;
+  K k;
+  V v;
+  std::uint64_t count = 0;
+  while (handle.delete_min(k, v)) {
+    ASSERT_GE(k, prev);
+    prev = k;
+    ++count;
+  }
+  EXPECT_EQ(count, 4 * per_thread);
+}
+
+TEST(HuntHeap, ConcurrentMixedExactlyOnce) {
+  HuntHeap<K, V> heap(4, 1u << 16);
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kOps = 6000;
+  std::vector<std::vector<V>> deleted(kThreads);
+  std::vector<std::uint64_t> inserted(kThreads, 0);
+  run_team(kThreads, [&](unsigned tid) {
+    auto handle = heap.get_handle(tid);
+    Xoroshiro128 rng(tid + 21);
+    for (std::uint64_t op = 0; op < kOps; ++op) {
+      if (rng.next_below(2) == 0) {
+        handle.insert(rng.next_below(5000),
+                      (static_cast<V>(tid + 1) << 32) | inserted[tid]);
+        ++inserted[tid];
+      } else {
+        K k;
+        V v;
+        if (handle.delete_min(k, v)) deleted[tid].push_back(v);
+      }
+    }
+  });
+  auto handle = heap.get_handle(0);
+  std::vector<V> rest;
+  K k;
+  V v;
+  while (handle.delete_min(k, v)) rest.push_back(v);
+  std::set<V> seen;
+  std::uint64_t total = 0;
+  for (const auto& per : deleted) {
+    for (V value : per) {
+      ASSERT_TRUE(seen.insert(value).second);
+      ++total;
+    }
+  }
+  for (V value : rest) {
+    ASSERT_TRUE(seen.insert(value).second);
+    ++total;
+  }
+  std::uint64_t expected = 0;
+  for (std::uint64_t n : inserted) expected += n;
+  EXPECT_EQ(total, expected);
+}
+
+}  // namespace
+}  // namespace cpq

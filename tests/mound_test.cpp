@@ -1,0 +1,138 @@
+// Mound-specific tests: tree growth, the heap-on-heads + sorted-lists
+// structural invariants, moundify behaviour, and concurrent stress beyond
+// the generic typed suites.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "platform/rng.hpp"
+#include "platform/thread_util.hpp"
+#include "queues/mound.hpp"
+
+namespace cpq {
+namespace {
+
+using K = std::uint64_t;
+using V = std::uint64_t;
+
+TEST(Mound, EmptyBehaviour) {
+  Mound<K, V> mound(1);
+  auto handle = mound.get_handle(0);
+  K k;
+  V v;
+  EXPECT_FALSE(handle.delete_min(k, v));
+  EXPECT_EQ(mound.unsafe_size(), 0u);
+  EXPECT_TRUE(mound.unsafe_invariants_hold());
+}
+
+TEST(Mound, SortedDrain) {
+  Mound<K, V> mound(1);
+  auto handle = mound.get_handle(0);
+  Xoroshiro128 rng(5);
+  std::vector<K> keys;
+  for (int i = 0; i < 5000; ++i) {
+    const K key = rng.next_below(100000);
+    keys.push_back(key);
+    handle.insert(key, i);
+  }
+  EXPECT_EQ(mound.unsafe_size(), keys.size());
+  EXPECT_TRUE(mound.unsafe_invariants_hold());
+  std::sort(keys.begin(), keys.end());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    K k;
+    V v;
+    ASSERT_TRUE(handle.delete_min(k, v));
+    ASSERT_EQ(k, keys[i]) << "at " << i;
+  }
+  EXPECT_EQ(mound.unsafe_size(), 0u);
+}
+
+TEST(Mound, InvariantsUnderMixedOps) {
+  Mound<K, V> mound(1);
+  auto handle = mound.get_handle(0);
+  Xoroshiro128 rng(9);
+  std::multiset<K> model;
+  for (int op = 0; op < 20000; ++op) {
+    if (model.empty() || rng.next_below(100) < 55) {
+      const K key = rng.next_below(5000);
+      handle.insert(key, op);
+      model.insert(key);
+    } else {
+      K k;
+      V v;
+      ASSERT_TRUE(handle.delete_min(k, v));
+      ASSERT_EQ(k, *model.begin());
+      model.erase(model.begin());
+    }
+    if (op % 1024 == 0) {
+      ASSERT_TRUE(mound.unsafe_invariants_hold()) << "op " << op;
+    }
+  }
+  ASSERT_TRUE(mound.unsafe_invariants_hold());
+}
+
+TEST(Mound, GrowsBeyondInitialDepth) {
+  // initial_depth 1 => 3 nodes; thousands of items force repeated growth.
+  Mound<K, V> mound(1, /*seed=*/1, /*initial_depth=*/1);
+  auto handle = mound.get_handle(0);
+  // Descending inserts are the growth worst case: each new key is smaller,
+  // so it always fits near the root... ascending is the opposite. Use both.
+  for (K i = 0; i < 3000; ++i) handle.insert(i, i);
+  for (K i = 6000; i-- > 3000;) handle.insert(i, i);
+  EXPECT_EQ(mound.unsafe_size(), 6000u);
+  EXPECT_TRUE(mound.unsafe_invariants_hold());
+  K k;
+  V v;
+  for (K i = 0; i < 6000; ++i) {
+    ASSERT_TRUE(handle.delete_min(k, v));
+    ASSERT_EQ(k, i);
+  }
+}
+
+TEST(Mound, DuplicateKeysDrainFully) {
+  Mound<K, V> mound(1);
+  auto handle = mound.get_handle(0);
+  for (int i = 0; i < 2000; ++i) handle.insert(7, i);
+  std::set<V> values;
+  K k;
+  V v;
+  while (handle.delete_min(k, v)) {
+    EXPECT_EQ(k, 7u);
+    EXPECT_TRUE(values.insert(v).second);
+  }
+  EXPECT_EQ(values.size(), 2000u);
+}
+
+TEST(Mound, ConcurrentInvariantsAtQuiescence) {
+  Mound<K, V> mound(4);
+  run_team(4, [&](unsigned tid) {
+    auto handle = mound.get_handle(tid);
+    Xoroshiro128 rng(tid + 3);
+    for (int op = 0; op < 8000; ++op) {
+      if (rng.next_below(100) < 60) {
+        handle.insert(rng.next_below(100000), tid);
+      } else {
+        K k;
+        V v;
+        handle.delete_min(k, v);
+      }
+    }
+  });
+  EXPECT_TRUE(mound.unsafe_invariants_hold());
+  // Full drain stays sorted.
+  auto handle = mound.get_handle(0);
+  K prev = 0;
+  K k;
+  V v;
+  while (handle.delete_min(k, v)) {
+    ASSERT_GE(k, prev);
+    prev = k;
+  }
+}
+
+}  // namespace
+}  // namespace cpq

@@ -1,0 +1,153 @@
+// Property and unit tests for the sequential heaps (BinaryHeap,
+// PairingHeap): heapsort equivalence against std::sort, interleaved
+// operations against a std::multiset reference model, and move semantics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "platform/rng.hpp"
+#include "seq/binary_heap.hpp"
+#include "seq/dary_heap.hpp"
+#include "seq/pairing_heap.hpp"
+
+namespace cpq::seq {
+namespace {
+
+template <typename Heap>
+class SeqHeapTest : public ::testing::Test {};
+
+using HeapTypes = ::testing::Types<BinaryHeap<std::uint64_t, std::uint64_t>,
+                                   PairingHeap<std::uint64_t, std::uint64_t>,
+                                   DaryHeap<std::uint64_t, std::uint64_t, 2>,
+                                   DaryHeap<std::uint64_t, std::uint64_t, 4>,
+                                   DaryHeap<std::uint64_t, std::uint64_t, 8>>;
+TYPED_TEST_SUITE(SeqHeapTest, HeapTypes);
+
+TYPED_TEST(SeqHeapTest, EmptyBehaviour) {
+  TypeParam heap;
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+  std::uint64_t k, v;
+  EXPECT_FALSE(heap.delete_min(k, v));
+}
+
+TYPED_TEST(SeqHeapTest, SingleElement) {
+  TypeParam heap;
+  heap.insert(7, 70);
+  EXPECT_FALSE(heap.empty());
+  EXPECT_EQ(heap.min_key(), 7u);
+  EXPECT_EQ(heap.min_value(), 70u);
+  std::uint64_t k, v;
+  ASSERT_TRUE(heap.delete_min(k, v));
+  EXPECT_EQ(k, 7u);
+  EXPECT_EQ(v, 70u);
+  EXPECT_TRUE(heap.empty());
+}
+
+TYPED_TEST(SeqHeapTest, HeapsortMatchesStdSort) {
+  for (const std::size_t n : {1u, 2u, 3u, 10u, 100u, 1000u, 10000u}) {
+    TypeParam heap;
+    Xoroshiro128 rng(n);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t key = rng.next_below(n * 2);  // force duplicates
+      keys.push_back(key);
+      heap.insert(key, i);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t k, v;
+      ASSERT_TRUE(heap.delete_min(k, v));
+      EXPECT_EQ(k, keys[i]) << "position " << i << " of " << n;
+    }
+    EXPECT_TRUE(heap.empty());
+  }
+}
+
+TYPED_TEST(SeqHeapTest, InterleavedAgainstMultisetModel) {
+  TypeParam heap;
+  std::multiset<std::uint64_t> model;
+  Xoroshiro128 rng(123);
+  for (int op = 0; op < 50000; ++op) {
+    if (model.empty() || rng.next_below(100) < 55) {
+      const std::uint64_t key = rng.next_below(1000);
+      heap.insert(key, 0);
+      model.insert(key);
+    } else {
+      std::uint64_t k, v;
+      ASSERT_TRUE(heap.delete_min(k, v));
+      ASSERT_EQ(k, *model.begin());
+      model.erase(model.begin());
+    }
+    ASSERT_EQ(heap.size(), model.size());
+  }
+}
+
+TYPED_TEST(SeqHeapTest, MinPeeksDoNotMutate) {
+  TypeParam heap;
+  heap.insert(5, 1);
+  heap.insert(3, 2);
+  heap.insert(9, 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(heap.min_key(), 3u);
+    EXPECT_EQ(heap.min_value(), 2u);
+  }
+  EXPECT_EQ(heap.size(), 3u);
+}
+
+TEST(BinaryHeap, ValidityInvariantUnderRandomOps) {
+  BinaryHeap<std::uint64_t, std::uint64_t> heap;
+  Xoroshiro128 rng(77);
+  for (int op = 0; op < 5000; ++op) {
+    if (heap.empty() || rng.next_below(2) == 0) {
+      heap.insert(rng.next_below(500), 0);
+    } else {
+      std::uint64_t k, v;
+      heap.delete_min(k, v);
+    }
+    ASSERT_TRUE(heap.is_valid_heap());
+  }
+}
+
+TEST(BinaryHeap, ClearResets) {
+  BinaryHeap<std::uint64_t, std::uint64_t> heap;
+  for (int i = 0; i < 100; ++i) heap.insert(i, i);
+  heap.clear();
+  EXPECT_TRUE(heap.empty());
+  heap.insert(1, 1);
+  EXPECT_EQ(heap.size(), 1u);
+}
+
+TEST(PairingHeap, MoveTransfersOwnership) {
+  PairingHeap<std::uint64_t, std::uint64_t> a;
+  a.insert(4, 40);
+  a.insert(2, 20);
+  PairingHeap<std::uint64_t, std::uint64_t> b(std::move(a));
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.min_key(), 2u);
+  PairingHeap<std::uint64_t, std::uint64_t> c;
+  c.insert(1, 10);
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.min_key(), 2u);
+}
+
+TEST(PairingHeap, LargeDescendingInsertDoesNotOverflowStack) {
+  // Descending inserts chain children; clear() and merge_pairs must both be
+  // iterative for this to pass.
+  PairingHeap<std::uint64_t, std::uint64_t> heap;
+  const std::uint64_t n = 200000;
+  for (std::uint64_t i = n; i-- > 0;) heap.insert(i, i);
+  std::uint64_t k, v;
+  ASSERT_TRUE(heap.delete_min(k, v));
+  EXPECT_EQ(k, 0u);
+}
+
+}  // namespace
+}  // namespace cpq::seq

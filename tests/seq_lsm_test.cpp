@@ -1,0 +1,127 @@
+// Tests for the sequential Log-Structured Merge priority queue: the LSM
+// structural invariants (distinct power-of-two capacities, sortedness,
+// fill bounds) after every operation, plus model-based correctness.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "platform/rng.hpp"
+#include "seq/seq_lsm.hpp"
+
+namespace cpq::seq {
+namespace {
+
+using Lsm = SeqLsm<std::uint64_t, std::uint64_t>;
+
+TEST(SeqLsm, EmptyBehaviour) {
+  Lsm lsm;
+  EXPECT_TRUE(lsm.empty());
+  std::uint64_t k, v;
+  EXPECT_FALSE(lsm.delete_min(k, v));
+  EXPECT_FALSE(lsm.peek_min(k, v));
+}
+
+TEST(SeqLsm, InsertionsKeepInvariants) {
+  Lsm lsm;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    lsm.insert(1000 - i, i);
+    ASSERT_TRUE(lsm.invariants_hold()) << "after insert " << i;
+    ASSERT_EQ(lsm.size(), i + 1);
+  }
+  // 1000 inserts with distinct power-of-two block capacities need at most
+  // log2(1000)+1 blocks.
+  EXPECT_LE(lsm.block_count(), 10u);
+}
+
+TEST(SeqLsm, SortsRandomInput) {
+  for (const std::size_t n : {1u, 2u, 7u, 64u, 65u, 1000u, 4096u}) {
+    Lsm lsm;
+    Xoroshiro128 rng(n);
+    std::vector<std::uint64_t> keys;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t key = rng.next_below(n);
+      keys.push_back(key);
+      lsm.insert(key, i);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t k, v;
+      ASSERT_TRUE(lsm.delete_min(k, v));
+      ASSERT_EQ(k, keys[i]);
+      ASSERT_TRUE(lsm.invariants_hold());
+    }
+    EXPECT_TRUE(lsm.empty());
+  }
+}
+
+TEST(SeqLsm, PeekMatchesDelete) {
+  Lsm lsm;
+  Xoroshiro128 rng(5);
+  for (int i = 0; i < 300; ++i) lsm.insert(rng.next_below(100), i);
+  while (!lsm.empty()) {
+    std::uint64_t pk, pv, dk, dv;
+    ASSERT_TRUE(lsm.peek_min(pk, pv));
+    ASSERT_TRUE(lsm.delete_min(dk, dv));
+    EXPECT_EQ(pk, dk);
+    EXPECT_EQ(pv, dv);
+  }
+}
+
+class SeqLsmMixedOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeqLsmMixedOps, MatchesMultisetModel) {
+  Lsm lsm;
+  std::multiset<std::uint64_t> model;
+  Xoroshiro128 rng(GetParam());
+  const std::uint64_t key_range = 1 + GetParam() * 37 % 1000;
+  for (int op = 0; op < 20000; ++op) {
+    if (model.empty() || rng.next_below(100) < 52) {
+      const std::uint64_t key = rng.next_below(key_range);
+      lsm.insert(key, static_cast<std::uint64_t>(op));
+      model.insert(key);
+    } else {
+      std::uint64_t k, v;
+      ASSERT_TRUE(lsm.delete_min(k, v));
+      ASSERT_EQ(k, *model.begin());
+      model.erase(model.begin());
+    }
+    ASSERT_EQ(lsm.size(), model.size());
+    if (op % 256 == 0) {
+      ASSERT_TRUE(lsm.invariants_hold());
+    }
+  }
+  ASSERT_TRUE(lsm.invariants_hold());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeqLsmMixedOps,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(SeqLsm, DrainHeavyShrinksBlocks) {
+  Lsm lsm;
+  for (std::uint64_t i = 0; i < 2048; ++i) lsm.insert(i, i);
+  std::uint64_t k, v;
+  for (int i = 0; i < 2040; ++i) {
+    ASSERT_TRUE(lsm.delete_min(k, v));
+    ASSERT_TRUE(lsm.invariants_hold());
+  }
+  EXPECT_EQ(lsm.size(), 8u);
+  // The shrink rule must have collapsed the structure far below the peak.
+  EXPECT_LE(lsm.block_count(), 4u);
+}
+
+TEST(SeqLsm, ClearEmpties) {
+  Lsm lsm;
+  for (int i = 0; i < 100; ++i) lsm.insert(i, i);
+  lsm.clear();
+  EXPECT_TRUE(lsm.empty());
+  EXPECT_TRUE(lsm.invariants_hold());
+  lsm.insert(1, 1);
+  EXPECT_EQ(lsm.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cpq::seq

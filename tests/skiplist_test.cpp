@@ -1,0 +1,235 @@
+// Whitebox and blackbox tests for the lock-free skiplist substrate through
+// its two facades (LindenQueue, SprayList): strict ordering, duplicate keys,
+// prefix restructuring, deferred reclamation via unsafe_purge, and
+// concurrent claim-exactly-once stress.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "platform/rng.hpp"
+#include "platform/thread_util.hpp"
+#include "queues/linden.hpp"
+#include "queues/spraylist.hpp"
+
+namespace cpq {
+namespace {
+
+using K = std::uint64_t;
+using V = std::uint64_t;
+
+TEST(Linden, EmptyDeleteFails) {
+  LindenQueue<K, V> queue(1);
+  auto handle = queue.get_handle(0);
+  K k;
+  V v;
+  EXPECT_FALSE(handle.delete_min(k, v));
+}
+
+TEST(Linden, StrictOrderSequential) {
+  LindenQueue<K, V> queue(1);
+  auto handle = queue.get_handle(0);
+  Xoroshiro128 rng(42);
+  std::vector<K> keys;
+  for (int i = 0; i < 5000; ++i) {
+    const K key = rng.next_below(2000);  // duplicates on purpose
+    keys.push_back(key);
+    handle.insert(key, i);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    K k;
+    V v;
+    ASSERT_TRUE(handle.delete_min(k, v));
+    ASSERT_EQ(k, keys[i]) << "at " << i;
+  }
+  K k;
+  V v;
+  EXPECT_FALSE(handle.delete_min(k, v));
+}
+
+TEST(Linden, InterleavedMatchesModel) {
+  LindenQueue<K, V> queue(1);
+  auto handle = queue.get_handle(0);
+  std::multiset<K> model;
+  Xoroshiro128 rng(7);
+  for (int op = 0; op < 30000; ++op) {
+    if (model.empty() || rng.next_below(100) < 55) {
+      const K key = rng.next_below(300);
+      handle.insert(key, 0);
+      model.insert(key);
+    } else {
+      K k;
+      V v;
+      ASSERT_TRUE(handle.delete_min(k, v));
+      ASSERT_EQ(k, *model.begin());
+      model.erase(model.begin());
+    }
+  }
+}
+
+TEST(Linden, PurgeReclaimsDeletedNodes) {
+  LindenQueue<K, V> queue(1, /*prefix_bound=*/4);
+  auto handle = queue.get_handle(0);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 1000; ++i) handle.insert(i, i);
+    K k;
+    V v;
+    for (int i = 0; i < 1000; ++i) ASSERT_TRUE(handle.delete_min(k, v));
+    EXPECT_EQ(queue.unsafe_size(), 0u);
+    queue.unsafe_purge();
+    EXPECT_EQ(queue.unsafe_size(), 0u);
+  }
+  // Queue still functional after repeated purges.
+  handle.insert(42, 1);
+  K k;
+  V v;
+  ASSERT_TRUE(handle.delete_min(k, v));
+  EXPECT_EQ(k, 42u);
+}
+
+TEST(Linden, SmallerKeyInsertedAfterDeletionsComesOutFirst) {
+  // Deleted-prefix handling: insert keys below the already-deleted range.
+  LindenQueue<K, V> queue(1, /*prefix_bound=*/2);
+  auto handle = queue.get_handle(0);
+  for (int i = 100; i < 200; ++i) handle.insert(i, i);
+  K k;
+  V v;
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(handle.delete_min(k, v));
+  handle.insert(5, 5);  // below everything, lands before live nodes
+  ASSERT_TRUE(handle.delete_min(k, v));
+  EXPECT_EQ(k, 5u);
+}
+
+TEST(Linden, ExtremeSentinelKeysAreInsertable) {
+  LindenQueue<K, V> queue(1);
+  auto handle = queue.get_handle(0);
+  handle.insert(0, 1);
+  handle.insert(std::numeric_limits<K>::max(), 2);
+  handle.insert(17, 3);
+  K k;
+  V v;
+  ASSERT_TRUE(handle.delete_min(k, v));
+  EXPECT_EQ(k, 0u);
+  ASSERT_TRUE(handle.delete_min(k, v));
+  EXPECT_EQ(k, 17u);
+  ASSERT_TRUE(handle.delete_min(k, v));
+  EXPECT_EQ(k, std::numeric_limits<K>::max());
+}
+
+// Concurrent exactly-once: P threads insert disjoint values then everyone
+// deletes; the union of deletions must be exactly the inserted multiset.
+template <typename Queue>
+void exactly_once_stress(Queue& queue, unsigned threads,
+                         std::uint64_t per_thread) {
+  std::vector<std::vector<V>> deleted(threads);
+  run_team(threads, [&](unsigned tid) {
+    auto handle = queue.get_handle(tid);
+    Xoroshiro128 rng(tid + 1);
+    for (std::uint64_t i = 0; i < per_thread; ++i) {
+      const V value = (static_cast<V>(tid) << 32) | i;
+      handle.insert(rng.next_below(1000), value);
+    }
+  });
+  std::atomic<std::uint64_t> remaining{threads * per_thread};
+  run_team(threads, [&](unsigned tid) {
+    auto handle = queue.get_handle(tid);
+    unsigned misses = 0;
+    while (remaining.load(std::memory_order_relaxed) > 0 && misses < 200) {
+      K k;
+      V v;
+      if (handle.delete_min(k, v)) {
+        deleted[tid].push_back(v);
+        remaining.fetch_sub(1, std::memory_order_relaxed);
+        misses = 0;
+      } else {
+        ++misses;
+      }
+    }
+  });
+  std::set<V> all;
+  std::uint64_t total = 0;
+  for (const auto& per : deleted) {
+    for (V v : per) {
+      EXPECT_TRUE(all.insert(v).second) << "duplicate delivery of " << v;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, threads * per_thread) << "lost items";
+}
+
+TEST(Linden, ConcurrentExactlyOnce) {
+  LindenQueue<K, V> queue(4);
+  exactly_once_stress(queue, 4, 5000);
+}
+
+TEST(Spray, ConcurrentExactlyOnce) {
+  SprayList<K, V> queue(4);
+  exactly_once_stress(queue, 4, 5000);
+}
+
+TEST(Spray, SequentialDrainReturnsAllItems) {
+  SprayList<K, V> queue(1);
+  auto handle = queue.get_handle(0);
+  std::multiset<K> model;
+  Xoroshiro128 rng(3);
+  for (int i = 0; i < 3000; ++i) {
+    const K key = rng.next_below(10000);
+    handle.insert(key, i);
+    model.insert(key);
+  }
+  std::multiset<K> drained;
+  K k;
+  V v;
+  while (handle.delete_min(k, v)) drained.insert(k);
+  EXPECT_EQ(drained, model);
+}
+
+TEST(Spray, RelaxationIsBoundedInPractice) {
+  // Sprays with P=8 parameters over a 100k-element queue: deleted ranks must
+  // stay far from the tail (statistical sanity, generous bound).
+  SprayList<K, V> queue(8);
+  auto handle = queue.get_handle(0);
+  const std::uint64_t n = 100000;
+  for (std::uint64_t i = 0; i < n; ++i) handle.insert(i, i);
+  K max_seen = 0;
+  for (int i = 0; i < 1000; ++i) {
+    K k;
+    V v;
+    ASSERT_TRUE(handle.delete_min(k, v));
+    max_seen = std::max(max_seen, k);
+  }
+  // 1000 deletions, so even a strict queue reaches key 999; a spray should
+  // stay within a small multiple of P log^3 P of the front.
+  EXPECT_LT(max_seen, 20000u);
+}
+
+TEST(Spray, ConcurrentMixedStress) {
+  SprayList<K, V> queue(4);
+  std::atomic<std::uint64_t> inserted{0};
+  std::atomic<std::uint64_t> deleted{0};
+  run_team(4, [&](unsigned tid) {
+    auto handle = queue.get_handle(tid);
+    Xoroshiro128 rng(tid + 99);
+    for (int op = 0; op < 20000; ++op) {
+      if (rng.next_below(2) == 0) {
+        handle.insert(rng.next_below(1 << 16), tid);
+        inserted.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        K k;
+        V v;
+        if (handle.delete_min(k, v)) {
+          deleted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+  EXPECT_EQ(queue.unsafe_size(), inserted.load() - deleted.load());
+}
+
+}  // namespace
+}  // namespace cpq
