@@ -20,6 +20,7 @@
 // Defaults reproduce a quick Fig.-1-style run. CPQ_* environment variables
 // seed the defaults, flags override.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +41,35 @@ bool parse_flag(const char* arg, const char* name, std::string& value) {
     return true;
   }
   return false;
+}
+
+// Strict numeric parsing: the whole value must be consumed, so typos like
+// "--reps=3x" or "--prefill=" fail loudly instead of silently becoming 3/0.
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  if (text[0] == '-') return false;  // strtoull silently wraps negatives
+  out = value;
+  return true;
+}
+
+bool parse_double(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  out = value;
+  return true;
+}
+
+int bad_value(const char* flag, const std::string& value, const char* want) {
+  std::fprintf(stderr, "cpq_bench_cli: invalid value for %s: '%s' (%s)\n",
+               flag, value.c_str(), want);
+  return 2;
 }
 
 KeyConfig parse_keys(const std::string& text, bool& ok) {
@@ -103,24 +133,52 @@ int main(int argc, char** argv) {
     } else if (parse_flag(argv[i], "--keys", value)) {
       keys_text = value;
     } else if (parse_flag(argv[i], "--insert-fraction", value)) {
-      insert_fraction = std::atof(value.c_str());
+      if (!parse_double(value, insert_fraction) || insert_fraction < 0.0 ||
+          insert_fraction > 1.0) {
+        return bad_value("--insert-fraction", value, "want 0.0 .. 1.0");
+      }
     } else if (parse_flag(argv[i], "--batch", value)) {
-      batch_size = std::strtoull(value.c_str(), nullptr, 10);
+      if (!parse_u64(value, batch_size) || batch_size < 1) {
+        return bad_value("--batch", value, "want an integer >= 1");
+      }
       workload_text = "batch";
     } else if (parse_flag(argv[i], "--prefill", value)) {
-      options.prefill = std::strtoull(value.c_str(), nullptr, 10);
+      std::uint64_t prefill = 0;
+      if (!parse_u64(value, prefill)) {
+        return bad_value("--prefill", value, "want an integer >= 0");
+      }
+      options.prefill = static_cast<std::size_t>(prefill);
     } else if (parse_flag(argv[i], "--threads", value)) {
-      setenv("CPQ_THREADS", value.c_str(), 1);
-      options = options_from_env();
+      // Parse the ladder directly: going through CPQ_THREADS +
+      // options_from_env() here used to rebuild *all* options from the
+      // environment, silently discarding any --prefill/--ms/--reps/--seed
+      // given earlier on the command line.
+      const std::vector<unsigned> ladder = parse_thread_ladder(value.c_str());
+      if (ladder.empty()) {
+        return bad_value("--threads", value,
+                         "want a comma-separated list of counts >= 1");
+      }
+      options.thread_ladder = ladder;
     } else if (parse_flag(argv[i], "--ms", value)) {
-      options.duration_s = std::atof(value.c_str()) / 1000.0;
+      double ms = 0.0;
+      if (!parse_double(value, ms) || ms <= 0.0) {
+        return bad_value("--ms", value, "want a duration > 0");
+      }
+      options.duration_s = ms / 1000.0;
     } else if (parse_flag(argv[i], "--ops", value)) {
-      options.quality_ops = std::strtoull(value.c_str(), nullptr, 10);
+      if (!parse_u64(value, options.quality_ops) || options.quality_ops < 1) {
+        return bad_value("--ops", value, "want an integer >= 1");
+      }
     } else if (parse_flag(argv[i], "--reps", value)) {
-      options.repetitions =
-          static_cast<unsigned>(std::strtoul(value.c_str(), nullptr, 10));
+      std::uint64_t reps = 0;
+      if (!parse_u64(value, reps) || reps < 1 || reps > 1'000'000) {
+        return bad_value("--reps", value, "want an integer >= 1");
+      }
+      options.repetitions = static_cast<unsigned>(reps);
     } else if (parse_flag(argv[i], "--seed", value)) {
-      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+      if (!parse_u64(value, options.seed)) {
+        return bad_value("--seed", value, "want an unsigned integer");
+      }
     } else if (parse_flag(argv[i], "--mode", value)) {
       mode = value;
     } else {

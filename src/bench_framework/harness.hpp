@@ -21,7 +21,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <exception>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -31,6 +34,7 @@
 #include "platform/cache.hpp"
 #include "platform/thread_util.hpp"
 #include "platform/timing.hpp"
+#include "validation/watchdog.hpp"
 
 namespace cpq::bench {
 
@@ -46,6 +50,12 @@ struct BenchConfig {
   bool pin_threads = true;
   double insert_fraction = 0.5;
   std::uint64_t batch_size = 1;  // for Workload::kBatch
+  // Progress-watchdog deadline in seconds (src/validation/watchdog.hpp):
+  // < 0 defers to CPQ_WATCHDOG_S (default 120), 0 disables supervision.
+  double watchdog_s = -1.0;
+  // Queue name for watchdog dumps and per-repetition failure reports
+  // (filled in by the registry; empty for direct harness callers).
+  std::string label;
 };
 
 struct ThroughputResult {
@@ -104,12 +114,20 @@ void prefill_queue(Queue& queue, const BenchConfig& cfg, std::uint64_t seed,
 }
 
 // Run one timed throughput repetition. Returns MOps/s.
+//
+// Every worker ticks a heartbeat (one relaxed store to its own cache line
+// per operation) that a progress watchdog samples: a queue that livelocks
+// mid-repetition aborts the process with a per-thread diagnostic dump
+// instead of hanging the benchmark forever (validation/watchdog.hpp).
 template <typename Queue>
 double throughput_rep(Queue& queue, const BenchConfig& cfg,
                       std::uint64_t seed) {
   SpinBarrier barrier(cfg.threads + 1);
   std::atomic<bool> stop{false};
-  std::vector<CacheAligned<std::uint64_t>> op_counts(cfg.threads);
+  std::vector<validation::WorkerProgress> progress(cfg.threads);
+  validation::Watchdog watchdog(
+      cfg.label.empty() ? "throughput" : cfg.label, progress.data(),
+      cfg.threads, validation::watchdog_deadline(cfg.watchdog_s));
 
   std::vector<std::thread> team;
   team.reserve(cfg.threads);
@@ -126,14 +144,16 @@ double throughput_rep(Queue& queue, const BenchConfig& cfg,
       while (!stop.load(std::memory_order_relaxed)) {
         if (chooser.next_is_insert()) {
           handle.insert(gen.next(), detail::item_id(tid, insert_counter++));
+          progress[tid].tick(++ops, validation::LastOp::kInsert);
         } else {
           std::uint64_t key;
           std::uint64_t value;
-          if (handle.delete_min(key, value)) gen.observe_deleted(key);
+          const bool hit = handle.delete_min(key, value);
+          if (hit) gen.observe_deleted(key);
+          progress[tid].tick(++ops, hit ? validation::LastOp::kDeleteHit
+                                        : validation::LastOp::kDeleteEmpty);
         }
-        ++ops;
       }
-      op_counts[tid].value = ops;
     });
   }
 
@@ -144,9 +164,12 @@ double throughput_rep(Queue& queue, const BenchConfig& cfg,
   stop.store(true, std::memory_order_release);
   const double elapsed = watch.elapsed_seconds();
   for (auto& t : team) t.join();
+  watchdog.stop();
 
   std::uint64_t total = 0;
-  for (const auto& c : op_counts) total += c.value;
+  for (const auto& p : progress) {
+    total += p.ops.load(std::memory_order_relaxed);
+  }
   return static_cast<double>(total) / elapsed / 1e6;
 }
 
@@ -157,20 +180,40 @@ ThroughputResult run_throughput(Factory&& make_queue, const BenchConfig& cfg) {
   ThroughputResult result;
   for (unsigned rep = 0; rep < cfg.repetitions; ++rep) {
     const std::uint64_t seed = cfg.seed + 7919ULL * rep;
-    auto queue = make_queue(cfg.threads, seed);
-    prefill_queue(*queue, cfg, seed, nullptr);
-    result.per_rep.push_back(throughput_rep(*queue, cfg, seed));
+    // One failed repetition (bad_alloc, a queue-reported error) is reported
+    // and skipped rather than taking down the whole sweep; the summary is
+    // computed over the repetitions that completed.
+    try {
+      auto queue = make_queue(cfg.threads, seed);
+      prefill_queue(*queue, cfg, seed, nullptr);
+      result.per_rep.push_back(throughput_rep(*queue, cfg, seed));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "[cpq] %s: throughput repetition %u/%u failed: %s\n",
+                   cfg.label.empty() ? "queue" : cfg.label.c_str(), rep + 1,
+                   cfg.repetitions, e.what());
+    }
+  }
+  if (result.per_rep.empty() && cfg.repetitions > 0) {
+    std::fprintf(stderr, "[cpq] %s: every throughput repetition failed\n",
+                 cfg.label.empty() ? "queue" : cfg.label.c_str());
   }
   result.mops = summarize(result.per_rep);
   return result;
 }
 
-// Run one quality repetition, filling per-thread logs.
+// Run one quality repetition, filling per-thread logs. Heartbeats and
+// watchdog supervision mirror throughput_rep.
 template <typename Queue>
 void quality_rep(Queue& queue, const BenchConfig& cfg, std::uint64_t seed,
                  std::vector<std::vector<OpLogEntry>>& logs) {
   logs.assign(cfg.threads + 1, {});
   prefill_queue(queue, cfg, seed, &logs[cfg.threads]);
+
+  std::vector<validation::WorkerProgress> progress(cfg.threads);
+  validation::Watchdog watchdog(
+      cfg.label.empty() ? "quality" : cfg.label, progress.data(),
+      cfg.threads, validation::watchdog_deadline(cfg.watchdog_s));
 
   SpinBarrier barrier(cfg.threads);
   std::vector<std::thread> team;
@@ -192,18 +235,23 @@ void quality_rep(Queue& queue, const BenchConfig& cfg, std::uint64_t seed,
           const std::uint64_t id = detail::item_id(tid, insert_counter++);
           handle.insert(key, id);
           log.push_back({fast_timestamp(), key, id, true});
+          progress[tid].tick(op + 1, validation::LastOp::kInsert);
         } else {
           std::uint64_t key;
           std::uint64_t id;
-          if (handle.delete_min(key, id)) {
+          const bool hit = handle.delete_min(key, id);
+          if (hit) {
             log.push_back({fast_timestamp(), key, id, false});
             gen.observe_deleted(key);
           }
+          progress[tid].tick(op + 1, hit ? validation::LastOp::kDeleteHit
+                                         : validation::LastOp::kDeleteEmpty);
         }
       }
     });
   }
   for (auto& t : team) t.join();
+  watchdog.stop();
 }
 
 template <typename Factory>
@@ -212,12 +260,19 @@ QualityResult run_quality(Factory&& make_queue, const BenchConfig& cfg) {
   std::vector<double> all_errors;
   for (unsigned rep = 0; rep < cfg.repetitions; ++rep) {
     const std::uint64_t seed = cfg.seed + 104729ULL * rep;
-    auto queue = make_queue(cfg.threads, seed);
-    std::vector<std::vector<OpLogEntry>> logs;
-    quality_rep(*queue, cfg, seed, logs);
-    std::uint64_t max_err = 0;
-    replay_rank_errors(logs, all_errors, max_err);
-    if (max_err > result.max_rank_error) result.max_rank_error = max_err;
+    try {
+      auto queue = make_queue(cfg.threads, seed);
+      std::vector<std::vector<OpLogEntry>> logs;
+      quality_rep(*queue, cfg, seed, logs);
+      std::uint64_t max_err = 0;
+      replay_rank_errors(logs, all_errors, max_err);
+      if (max_err > result.max_rank_error) result.max_rank_error = max_err;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "[cpq] %s: quality repetition %u/%u failed: %s\n",
+                   cfg.label.empty() ? "queue" : cfg.label.c_str(), rep + 1,
+                   cfg.repetitions, e.what());
+    }
   }
   result.deletions = all_errors.size();
   if (!all_errors.empty()) {

@@ -15,7 +15,9 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   return std::strtoull(value, nullptr, 10);
 }
 
-std::vector<unsigned> parse_ladder(const char* text) {
+}  // namespace
+
+std::vector<unsigned> parse_thread_ladder(const char* text) {
   std::vector<unsigned> ladder;
   unsigned current = 0;
   bool have_digit = false;
@@ -33,12 +35,10 @@ std::vector<unsigned> parse_ladder(const char* text) {
   return ladder;
 }
 
-}  // namespace
-
 Options options_from_env() {
   Options options;
   if (const char* ladder = env("CPQ_THREADS"); ladder && *ladder) {
-    options.thread_ladder = parse_ladder(ladder);
+    options.thread_ladder = parse_thread_ladder(ladder);
   }
   if (options.thread_ladder.empty()) {
     options.thread_ladder = {1, 2, 4, 8};

@@ -33,6 +33,11 @@ struct Options {
 // Parse the CPQ_* environment variables over the defaults above.
 Options options_from_env();
 
+// Parse a thread-ladder spec ("1,2,4,8"; any non-digit separates entries,
+// zeros are skipped). Returns an empty vector when no positive count is
+// found — callers decide whether that is an error or "use the default".
+std::vector<unsigned> parse_thread_ladder(const char* text);
+
 // A BenchConfig preloaded with the harness-wide options; callers then set
 // workload/keys/threads.
 BenchConfig base_config(const Options& options);

@@ -24,7 +24,9 @@ namespace {
 using K = bench_key;
 using V = bench_value;
 
-// Bind the template harness to a queue factory.
+// Bind the template harness to a queue factory. Each runner stamps the
+// queue's registry name into the config so watchdog dumps and repetition
+// failure reports name the queue they supervise.
 template <typename Factory>
 QueueSpec make_spec(std::string name, std::string description, bool strict,
                     bool in_paper, Factory factory) {
@@ -33,33 +35,41 @@ QueueSpec make_spec(std::string name, std::string description, bool strict,
   spec.description = std::move(description);
   spec.strict = strict;
   spec.in_paper = in_paper;
-  spec.throughput = [factory](const BenchConfig& cfg) {
+  spec.throughput = [factory, name = spec.name](const BenchConfig& cfg) {
+    BenchConfig labeled = cfg;
+    labeled.label = name;
     return run_throughput(
         [&](unsigned threads, std::uint64_t seed) {
-          return factory(threads, seed, cfg);
+          return factory(threads, seed, labeled);
         },
-        cfg);
+        labeled);
   };
-  spec.quality = [factory](const BenchConfig& cfg) {
+  spec.quality = [factory, name = spec.name](const BenchConfig& cfg) {
+    BenchConfig labeled = cfg;
+    labeled.label = name;
     return run_quality(
         [&](unsigned threads, std::uint64_t seed) {
-          return factory(threads, seed, cfg);
+          return factory(threads, seed, labeled);
         },
-        cfg);
+        labeled);
   };
-  spec.latency = [factory](const BenchConfig& cfg) {
+  spec.latency = [factory, name = spec.name](const BenchConfig& cfg) {
+    BenchConfig labeled = cfg;
+    labeled.label = name;
     return run_latency(
         [&](unsigned threads, std::uint64_t seed) {
-          return factory(threads, seed, cfg);
+          return factory(threads, seed, labeled);
         },
-        cfg);
+        labeled);
   };
-  spec.sort_phases = [factory](const BenchConfig& cfg) {
+  spec.sort_phases = [factory, name = spec.name](const BenchConfig& cfg) {
+    BenchConfig labeled = cfg;
+    labeled.label = name;
     return run_sort_phases(
         [&](unsigned threads, std::uint64_t seed) {
-          return factory(threads, seed, cfg);
+          return factory(threads, seed, labeled);
         },
-        cfg);
+        labeled);
   };
   return spec;
 }

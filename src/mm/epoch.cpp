@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "platform/backoff.hpp"
+#include "validation/fault_injection.hpp"
 
 namespace cpq::mm {
 
@@ -142,6 +143,9 @@ void EbrDomain::enter() {
   std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
   for (;;) {
     p->local_epoch.store(e, std::memory_order_seq_cst);
+    // Fault injection: stall between publishing and re-checking the epoch,
+    // the window the store/re-load protocol exists to close.
+    CPQ_INJECT("ebr.enter");
     const std::uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
     if (now == e) break;
     e = now;
@@ -166,6 +170,8 @@ void EbrDomain::retire(void* ptr, void (*deleter)(void*)) {
   Participant* p = self();
   assert(p->nesting > 0 && "retire requires an active Guard");
   const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  // Fault injection: delay filing into limbo while other threads advance.
+  CPQ_INJECT("ebr.retire");
   p->limbo[e % 3].push_back(RetiredNode{ptr, deleter});
   retired_count_.fetch_add(1, std::memory_order_relaxed);
   if (++p->retires_since_advance >= kRetireInterval) {
@@ -188,6 +194,9 @@ void EbrDomain::try_advance() {
   }
   std::uint64_t current = e;
   if (all_observed) {
+    // Fault injection: widen the scan-to-CAS window so a racing entrant can
+    // publish an older epoch after our scan declared everyone caught up.
+    CPQ_INJECT("ebr.advance");
     if (global_epoch_.compare_exchange_strong(current, e + 1,
                                               std::memory_order_acq_rel)) {
       current = e + 1;

@@ -12,6 +12,7 @@
 
 #include "platform/backoff.hpp"
 #include "platform/cache.hpp"
+#include "validation/fault_injection.hpp"
 
 namespace cpq {
 
@@ -42,7 +43,12 @@ class Spinlock {
     Backoff backoff(reinterpret_cast<std::uintptr_t>(this));
     unsigned rounds = 0;
     for (;;) {
-      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      if (!flag_.exchange(true, std::memory_order_acquire)) {
+        // Fault injection: stretch the critical section right after the
+        // acquire, the window where a preempted lock holder stalls waiters.
+        CPQ_INJECT("spinlock.acquired");
+        return;
+      }
       do {
         // After sustained spinning, yield so a preempted lock holder can
         // run (essential when benchmark threads outnumber cores).
@@ -60,7 +66,11 @@ class Spinlock {
            !flag_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+  void unlock() noexcept {
+    // Fault injection: delay the release so waiters observe long holds.
+    CPQ_INJECT("spinlock.release");
+    flag_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> flag_{false};

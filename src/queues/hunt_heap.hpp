@@ -27,10 +27,13 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <thread>
 
+#include "platform/backoff.hpp"
 #include "platform/cache.hpp"
 #include "platform/spinlock.hpp"
 #include "queues/queue_traits.hpp"
+#include "validation/fault_injection.hpp"
 
 namespace cpq {
 
@@ -71,6 +74,9 @@ class HuntHeap {
       node.value = value;
       node.tag = tag_;
       node.lock.unlock();
+      // The item is now visible in-transit (tagged) but not yet sifted; this
+      // is the window where deleters may claim or swap it.
+      CPQ_INJECT("hunt.insert_staged");
 
       sift_up(target);
       return true;
@@ -93,6 +99,9 @@ class HuntHeap {
       Value moving_value = last_node.value;
       last_node.tag = kEmpty;
       last_node.lock.unlock();
+      // Claimed-but-not-yet-at-root window: the moving item exists only in
+      // this thread's locals while concurrent sifts rearrange the array.
+      CPQ_INJECT("hunt.claimed_last");
 
       if (last == kRoot) {
         key_out = moving_key;
@@ -160,6 +169,8 @@ class HuntHeap {
     void sift_up(std::size_t start) {
       HuntHeap& h = *heap_;
       std::size_t i = start;
+      Backoff backoff(reinterpret_cast<std::uintptr_t>(this) + start);
+      unsigned stalled_rounds = 0;
       while (i > kRoot) {
         const std::size_t parent = i / 2;
         h.nodes_[parent].lock.lock();
@@ -182,11 +193,25 @@ class HuntHeap {
           // Our item was swapped upward by a deleter (or consumed); chase it.
           n.lock.unlock();
           p.lock.unlock();
+          CPQ_INJECT("hunt.sift_chase");
           i = parent;
         } else {
-          // Parent is empty or in transit; release and retry this level.
+          // Parent is empty or in transit; only the parent item's owner can
+          // resolve that, so release both locks and back off before
+          // retrying. Without the backoff this loop re-acquires the parent
+          // lock so quickly that it monopolizes it (every other preemption
+          // point sits inside the critical section), and on a loaded or
+          // single-core machine the owner chasing its in-transit item can
+          // starve on that very lock — a livelock the fault injector
+          // reproduces reliably.
           n.lock.unlock();
           p.lock.unlock();
+          CPQ_INJECT("hunt.sift_retry");
+          if (++stalled_rounds < 16) {
+            backoff.pause();
+          } else {
+            std::this_thread::yield();
+          }
         }
       }
       // At the root: either our item rests here, or it was consumed by a

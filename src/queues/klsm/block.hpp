@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "platform/cache.hpp"
+#include "validation/fault_injection.hpp"
 
 namespace cpq::klsm_detail {
 
@@ -86,6 +87,9 @@ class Block {
   // Claim slot i. True iff this caller took ownership of the item.
   bool claim(std::uint32_t i) noexcept {
     assert(i < count_);
+    // Fault injection: widen the peek-to-claim window, the seam where a
+    // racing claimant must lose exactly one of the two exchanges.
+    CPQ_INJECT("block.claim");
     return !slots_[i].taken.exchange(true, std::memory_order_acq_rel);
   }
 
@@ -109,6 +113,9 @@ class Block {
   // Claim-move every still-live item into `out`, preserving sort order.
   void drain_into(std::vector<std::pair<Key, Value>>& out) {
     for (std::uint32_t i = first_live(); i < count_; ++i) {
+      // Fault injection: a drain (merge / spy / overflow) racing deleters
+      // item by item is the k-LSM's busiest ownership-transfer seam.
+      CPQ_INJECT("block.drain");
       if (!slots_[i].taken.load(std::memory_order_acquire) && claim(i)) {
         out.emplace_back(slots_[i].key, slots_[i].value);
       }

@@ -30,6 +30,7 @@
 
 #include "mm/epoch.hpp"
 #include "queues/klsm/block.hpp"
+#include "validation/fault_injection.hpp"
 
 namespace cpq::klsm_detail {
 
@@ -82,6 +83,9 @@ class ThreadLocalLsm {
     const std::uint64_t epoch = slot.state.load(std::memory_order_relaxed) >> 2;
     slot.key = key;
     slot.value = value;
+    // Fault injection: stall between writing the payload and publishing the
+    // state word — spies must never observe a half-written staged item.
+    CPQ_INJECT("dlsm.stage");
     slot.state.store(((epoch + 1) << 2) | kStageReady,
                      std::memory_order_release);
   }
@@ -96,6 +100,8 @@ class ThreadLocalLsm {
       if ((word & 3) != kStageReady) continue;  // stolen by a spy
       const Key key = slot.key;
       const Value value = slot.value;
+      // Fault injection: widen the load-to-CAS window a spy races through.
+      CPQ_INJECT("dlsm.flush_claim");
       if (slot.state.compare_exchange_strong(
               word, (word & ~std::uint64_t{3}) | kStageTaken,
               std::memory_order_acq_rel)) {
@@ -247,6 +253,8 @@ class ThreadLocalLsm {
       if ((word & 3) != kStageReady) continue;
       const Key key = slot.key;
       const Value value = slot.value;
+      // Fault injection: the mirror of dlsm.flush_claim, from the spy side.
+      CPQ_INJECT("dlsm.steal");
       if (slot.state.compare_exchange_strong(
               word, (word & ~std::uint64_t{3}) | kStageTaken,
               std::memory_order_acq_rel)) {
@@ -292,6 +300,9 @@ class ThreadLocalLsm {
   }
 
   void publish(ArrayT* next, ArrayT* old_array) {
+    // Fault injection: delay publication so spies work on a stale array
+    // whose blocks the replacement shares (claims must still be unique).
+    CPQ_INJECT("dlsm.publish");
     published_.store(next, std::memory_order_release);
     if (old_array) {
       mm::EbrDomain::Guard guard;

@@ -30,6 +30,7 @@
 #include "platform/rng.hpp"
 #include "platform/spinlock.hpp"
 #include "queues/klsm/block.hpp"
+#include "validation/fault_injection.hpp"
 
 namespace cpq::klsm_detail {
 
@@ -76,6 +77,9 @@ class Slsm {
     next->blocks[next->count++] = fresh;
     merge_cascade(*next);
     compute_pivots(*next, k_);
+    // Fault injection: delay publication — deleters keep hammering the old
+    // array while the replacement (holding the same blocks) is in flight.
+    CPQ_INJECT("slsm.publish");
     published_.store(next, std::memory_order_release);
     if (old_array) {
       mm::EbrDomain::Guard guard;
@@ -91,6 +95,9 @@ class Slsm {
     for (unsigned round = 0; round < kMaxRounds; ++round) {
       ArrayT* array = published_.load(std::memory_order_acquire);
       if (!array || array->count == 0) return false;
+      // Fault injection: hold the snapshot before claiming so a concurrent
+      // insert_batch can retire the array under our feet (EBR must protect).
+      CPQ_INJECT("slsm.delete_min");
       if (try_claim_from_pivot(*array, key_out, value_out, rng)) return true;
       // Pivot range drained: recompute from the current heads. If even the
       // refreshed range is empty, the array holds no live items.

@@ -1,0 +1,189 @@
+// CheckedQueue: an element-conservation auditing adaptor over any roster
+// queue (src/queues/queue_traits.hpp concept).
+//
+// The fundamental safety property shared by every queue here — strict or
+// relaxed — is exactly-once delivery: each inserted item is returned by
+// delete_min at most once, never invented, and never lost. A queue that
+// violates it can still post excellent throughput, which is precisely how
+// broken structures end up in published benchmark tables. The adaptor makes
+// the property checkable for *any* workload: handles record every insert and
+// every successful delete into thread-local tallies (one cache line per
+// thread, plain vector appends — cheap enough to leave on in stress tests),
+// and an end-of-run reconcile() drains the wrapped queue and diffs the
+// inserted multiset against delivered + remaining.
+//
+// The diff classifies every discrepancy:
+//   lost        — inserted, but neither delivered nor found by the drain
+//   duplicated  — delivered more often than it was inserted
+//   fabricated  — delivered, but never inserted at all
+//
+// Items are compared as (key, value) pairs; with the harness's unique item
+// ids each discrepancy is pinpointed exactly, but the accounting is multiset
+// based and stays correct under arbitrary duplicate keys/values.
+//
+// reconcile() is not thread-safe: call it after every worker has joined.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "platform/cache.hpp"
+
+namespace cpq::validation {
+
+struct ReconcileReport {
+  std::uint64_t inserted = 0;        // insertions observed by handles
+  std::uint64_t deleted = 0;         // successful delete_mins observed
+  std::uint64_t drained = 0;         // items recovered by the final drain
+  std::uint64_t failed_deletes = 0;  // delete_mins that reported empty
+  std::uint64_t lost = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t fabricated = 0;
+
+  bool ok() const noexcept {
+    return lost == 0 && duplicated == 0 && fabricated == 0;
+  }
+
+  std::string to_string() const {
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "inserted=%llu deleted=%llu drained=%llu failed_deletes=%llu "
+        "lost=%llu duplicated=%llu fabricated=%llu",
+        static_cast<unsigned long long>(inserted),
+        static_cast<unsigned long long>(deleted),
+        static_cast<unsigned long long>(drained),
+        static_cast<unsigned long long>(failed_deletes),
+        static_cast<unsigned long long>(lost),
+        static_cast<unsigned long long>(duplicated),
+        static_cast<unsigned long long>(fabricated));
+    return buf;
+  }
+};
+
+template <typename Q>
+class CheckedQueue {
+ private:
+  struct Tally;
+
+ public:
+  using key_type = typename Q::key_type;
+  using value_type = typename Q::value_type;
+  using Item = std::pair<key_type, value_type>;
+  using InnerHandle = decltype(std::declval<Q&>().get_handle(0u));
+
+  CheckedQueue(unsigned max_threads, std::unique_ptr<Q> inner)
+      : inner_(std::move(inner)), tallies_(max_threads) {}
+
+  Q& inner() noexcept { return *inner_; }
+
+  class Handle {
+   public:
+    void insert(key_type key, value_type value) {
+      tally_->inserted.emplace_back(key, value);
+      inner_.insert(key, value);
+    }
+
+    bool delete_min(key_type& key_out, value_type& value_out) {
+      if (inner_.delete_min(key_out, value_out)) {
+        tally_->deleted.emplace_back(key_out, value_out);
+        return true;
+      }
+      ++tally_->failed_deletes;
+      return false;
+    }
+
+   private:
+    friend class CheckedQueue;
+    Handle(InnerHandle inner, Tally* tally)
+        : inner_(std::move(inner)), tally_(tally) {}
+
+    InnerHandle inner_;
+    Tally* tally_;
+  };
+
+  Handle get_handle(unsigned thread_id) {
+    return Handle(inner_->get_handle(thread_id),
+                  &tallies_[thread_id].value);
+  }
+
+  // Drain the wrapped queue through thread-0's handle and diff the multisets.
+  // Relaxed queues may report transient emptiness, so the drain re-polls
+  // generously before believing an empty answer.
+  ReconcileReport reconcile() {
+    ReconcileReport report;
+    std::vector<Item> out;
+    {
+      auto handle = inner_->get_handle(0);
+      key_type key;
+      value_type value;
+      unsigned misses = 0;
+      while (misses < 256) {
+        if (handle.delete_min(key, value)) {
+          out.emplace_back(key, value);
+          misses = 0;
+        } else {
+          ++misses;
+        }
+      }
+    }
+    report.drained = out.size();
+
+    std::vector<Item> in;
+    for (auto& aligned : tallies_) {
+      Tally& tally = aligned.value;
+      report.inserted += tally.inserted.size();
+      report.deleted += tally.deleted.size();
+      report.failed_deletes += tally.failed_deletes;
+      in.insert(in.end(), tally.inserted.begin(), tally.inserted.end());
+      out.insert(out.end(), tally.deleted.begin(), tally.deleted.end());
+    }
+    std::sort(in.begin(), in.end());
+    std::sort(out.begin(), out.end());
+
+    // Walk both multisets one distinct item at a time and compare counts.
+    std::size_t i = 0;
+    std::size_t o = 0;
+    while (i < in.size() || o < out.size()) {
+      Item current;
+      if (o == out.size()) {
+        current = in[i];
+      } else if (i == in.size()) {
+        current = out[o];
+      } else {
+        current = std::min(in[i], out[o]);
+      }
+      std::uint64_t in_count = 0;
+      std::uint64_t out_count = 0;
+      while (i < in.size() && in[i] == current) ++i, ++in_count;
+      while (o < out.size() && out[o] == current) ++o, ++out_count;
+      if (in_count > out_count) {
+        report.lost += in_count - out_count;
+      } else if (out_count > in_count) {
+        if (in_count == 0) {
+          report.fabricated += out_count;
+        } else {
+          report.duplicated += out_count - in_count;
+        }
+      }
+    }
+    return report;
+  }
+
+ private:
+  struct Tally {
+    std::vector<Item> inserted;
+    std::vector<Item> deleted;
+    std::uint64_t failed_deletes = 0;
+  };
+
+  std::unique_ptr<Q> inner_;
+  std::vector<CacheAligned<Tally>> tallies_;
+};
+
+}  // namespace cpq::validation

@@ -154,12 +154,14 @@ TEST(EbrStress, PublishRetireReadStress) {
   for (unsigned r = 0; r < 2; ++r) {
     team.emplace_back([&] {
       std::uint64_t sum = 0;
-      while (!stop.load(std::memory_order_relaxed)) {
+      // do-while: on a single-core host the writers can finish before this
+      // thread first runs, so guarantee at least one read.
+      do {
         EbrDomain::Guard guard(domain);
         Counted* current = published.load(std::memory_order_acquire);
         sum += current->payload.load(std::memory_order_relaxed);
         EXPECT_EQ(current->payload.load(std::memory_order_relaxed), 1u);
-      }
+      } while (!stop.load(std::memory_order_relaxed));
       EXPECT_GT(sum, 0u);
     });
   }

@@ -27,12 +27,17 @@
 #include "queues/shavit_lotan.hpp"
 #include "queues/spraylist.hpp"
 #include "queues/sundell_tsigas.hpp"
+#include "seq/dary_heap.hpp"
+#include "seq/pairing_heap.hpp"
+#include "validation/checked_queue.hpp"
 
 namespace cpq {
 namespace {
 
 using K = std::uint64_t;
 using V = std::uint64_t;
+using MqPairing = MultiQueue<K, V, seq::PairingHeap<K, V>>;
+using MqDary = MultiQueue<K, V, seq::DaryHeap<K, V, 4>>;
 
 template <typename Q>
 std::unique_ptr<Q> make_queue(unsigned threads);
@@ -56,6 +61,14 @@ std::unique_ptr<SprayList<K, V>> make_queue(unsigned threads) {
 template <>
 std::unique_ptr<MultiQueue<K, V>> make_queue(unsigned threads) {
   return std::make_unique<MultiQueue<K, V>>(threads, 4);
+}
+template <>
+std::unique_ptr<MqPairing> make_queue(unsigned threads) {
+  return std::make_unique<MqPairing>(threads, 4);
+}
+template <>
+std::unique_ptr<MqDary> make_queue(unsigned threads) {
+  return std::make_unique<MqDary>(threads, 4);
 }
 template <>
 std::unique_ptr<KLsmQueue<K, V>> make_queue(unsigned threads) {
@@ -88,8 +101,8 @@ std::unique_ptr<ChunkBasedQueue<K, V>> make_queue(unsigned threads) {
 
 using QueueTypes =
     ::testing::Types<GlobalLockQueue<K, V>, LindenQueue<K, V>, HuntHeap<K, V>,
-                     SprayList<K, V>, MultiQueue<K, V>, KLsmQueue<K, V>,
-                     DlsmQueue<K, V>, SlsmQueue<K, V>,
+                     SprayList<K, V>, MultiQueue<K, V>, MqPairing, MqDary,
+                     KLsmQueue<K, V>, DlsmQueue<K, V>, SlsmQueue<K, V>,
                      ShavitLotanQueue<K, V>, SundellTsigasQueue<K, V>,
                      Mound<K, V>, ChunkBasedQueue<K, V>>;
 
@@ -254,6 +267,37 @@ TYPED_TEST(QueueConcurrentTest, PrefilledConcurrentDrainDeliversAll) {
     ++total;
   }
   EXPECT_EQ(total, kItems);
+}
+
+// The same conservation property, audited by the validation-layer adaptor
+// (src/validation/checked_queue.hpp) instead of hand-rolled accounting: the
+// torture suite relies on the adaptor, so the adaptor itself is exercised
+// against every roster queue here, injection-free.
+TYPED_TEST(QueueConcurrentTest, CheckedAdaptorReportsConservation) {
+  constexpr unsigned kThreads = 2;
+  constexpr std::uint64_t kOpsPerThread = 4000;
+  validation::CheckedQueue<TypeParam> queue(kThreads,
+                                            make_queue<TypeParam>(kThreads));
+
+  run_team(kThreads, [&](unsigned tid) {
+    auto handle = queue.get_handle(tid);
+    Xoroshiro128 rng(tid * 77 + 13);
+    std::uint64_t inserted = 0;
+    for (std::uint64_t op = 0; op < kOpsPerThread; ++op) {
+      if (rng.next_below(100) < 55) {
+        handle.insert(rng.next_below(1u << 14), value_of(tid, inserted++));
+      } else {
+        K k;
+        V v;
+        handle.delete_min(k, v);
+      }
+    }
+  });
+
+  const validation::ReconcileReport report = queue.reconcile();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(report.inserted, 0u);
+  EXPECT_EQ(report.inserted, report.deleted + report.drained);
 }
 
 // Strict queues must never return a key that is larger than another key
