@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_framework/json_out.hpp"
 #include "bench_framework/options.hpp"
 #include "bench_framework/registry.hpp"
 #include "bench_framework/table.hpp"
@@ -25,7 +26,8 @@ inline std::string config_title(const std::string& label,
          cfg.keys.name() + " keys";
 }
 
-// Throughput sweep: MOps/s mean ± 95% CI per (threads, queue).
+// Throughput sweep: MOps/s mean ± 95% CI per (threads, queue). Each cell is
+// additionally appended to the CPQ_JSON sink (bench_framework/json_out.hpp).
 inline void throughput_table(const std::string& label, BenchConfig cfg,
                              const Options& options,
                              const std::vector<const QueueSpec*>& roster) {
@@ -40,6 +42,11 @@ inline void throughput_table(const std::string& label, BenchConfig cfg,
       const ThroughputResult result = spec->throughput(cfg);
       cells.push_back(Table::format_mean_ci(result.mops.mean,
                                             result.mops.ci95));
+      JsonSink::instance().record({config_title(label, cfg), spec->name,
+                                   "throughput_mops", threads,
+                                   result.mops.mean, result.mops.ci95,
+                                   static_cast<unsigned>(
+                                       result.per_rep.size())});
     }
     table.add_row(std::to_string(threads), std::move(cells));
   }
@@ -62,10 +69,80 @@ inline void quality_table(const std::string& label, BenchConfig cfg,
       const QualityResult result = spec->quality(cfg);
       cells.push_back(Table::format_mean_std(result.rank_error.mean,
                                              result.rank_error.stddev));
+      JsonSink::instance().record({config_title(label, cfg), spec->name,
+                                   "rank_error_mean", threads,
+                                   result.rank_error.mean,
+                                   result.rank_error.ci95, cfg.repetitions});
     }
     table.add_row(std::to_string(threads), std::move(cells));
   }
   table.print();
+}
+
+// Open-loop service sweep: every roster queue driven raw and through
+// PriorityService by identical Poisson client traffic. Rows are total
+// thread counts from the ladder (split half producers / half consumers);
+// cells show raw -> service delivered kTasks/s, and a second table shows
+// the completion-rank error medians. Returns false if any checked run
+// reported a conservation violation.
+inline bool service_table(const std::string& label,
+                          service::ServiceBenchConfig cfg,
+                          const Options& options,
+                          const std::vector<const QueueSpec*>& roster) {
+  std::vector<std::string> columns;
+  for (const QueueSpec* spec : roster) columns.push_back(spec->name);
+  Table throughput(label + " — delivered raw -> service [kTasks/s]",
+                   "threads", columns);
+  Table quality(label + " — completion rank error median raw -> service",
+                "threads", columns);
+  bool conserved = true;
+  for (unsigned threads : options.thread_ladder) {
+    cfg.producers = (threads + 1) / 2;
+    cfg.consumers = threads - cfg.producers;
+    if (cfg.consumers == 0) cfg.consumers = 1;
+    const unsigned total = cfg.producers + cfg.consumers;
+    std::vector<std::string> tcells;
+    std::vector<std::string> qcells;
+    for (const QueueSpec* spec : roster) {
+      const ServiceComparison comparison = spec->service_bench(cfg);
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.0f -> %.0f",
+                    comparison.raw.delivered_per_s / 1e3,
+                    comparison.service.delivered_per_s / 1e3);
+      tcells.emplace_back(buf);
+      std::snprintf(buf, sizeof(buf), "%.1f -> %.1f",
+                    comparison.raw.median_rank_error,
+                    comparison.service.median_rank_error);
+      qcells.emplace_back(buf);
+      JsonSink::instance().record({label, spec->name, "raw_tasks_per_s",
+                                   total, comparison.raw.delivered_per_s,
+                                   0.0, 1});
+      JsonSink::instance().record({label, spec->name, "service_tasks_per_s",
+                                   total, comparison.service.delivered_per_s,
+                                   0.0, 1});
+      JsonSink::instance().record({label, spec->name,
+                                   "service_rank_error_median", total,
+                                   comparison.service.median_rank_error, 0.0,
+                                   1});
+      if (cfg.checked) {
+        for (const service::ServiceBenchResult* result :
+             {&comparison.raw, &comparison.service}) {
+          if (!result->conservation_ok) {
+            conserved = false;
+            std::fprintf(stderr,
+                         "[cpq] %s: service conservation violation: %s\n",
+                         spec->name.c_str(),
+                         result->conservation_report.c_str());
+          }
+        }
+      }
+    }
+    throughput.add_row(std::to_string(total), std::move(tcells));
+    quality.add_row(std::to_string(total), std::move(qcells));
+  }
+  throughput.print();
+  quality.print();
+  return conserved;
 }
 
 inline void print_bench_header(const char* name, const char* reproduces,

@@ -1,0 +1,44 @@
+// bench_service — open-loop task-dispatch benchmark for the PriorityService
+// layer (src/service/priority_service.hpp).
+//
+// A Poisson client simulator offers tasks to each queue twice: once through
+// raw queue handles, once through the sharded/batched PriorityService. Each
+// thread-ladder entry is split into producers (open-loop submitters whose
+// arrival schedule is independent of completions) and consumers (dequeue
+// loops). Reported per cell: delivered tasks/s and the median
+// completion-rank error, raw -> service, so the cost/benefit of the
+// dispatch layer is visible per queue.
+//
+// Env knobs on top of the usual CPQ_* set:
+//   CPQ_ARRIVAL_HZ   offered load per producer (tasks/s, 0 = closed loop)
+//   CPQ_CHECKED=1    wrap every queue in validation::CheckedQueue and fail
+//                    (exit 1) on any conservation violation — combine with
+//                    a -DCPQ_FAULT_INJECTION=ON build and CPQ_INJECT_PPM to
+//                    torture the service layer end to end
+
+#include <cstdlib>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cpq::bench;
+  const Options options = options_from_env();
+  print_bench_header("bench_service",
+                     "open-loop Poisson dispatch, raw vs PriorityService",
+                     options);
+
+  cpq::service::ServiceBenchConfig cfg;
+  cfg.duration_s = options.duration_s;
+  cfg.prefill = options.prefill;
+  cfg.keys = KeyConfig::uniform(32);
+  cfg.seed = options.seed;
+  if (const char* hz = std::getenv("CPQ_ARRIVAL_HZ")) {
+    cfg.arrival_hz = std::atof(hz);
+    if (cfg.arrival_hz < 0.0) cfg.arrival_hz = 0.0;
+  }
+  if (const char* checked = std::getenv("CPQ_CHECKED")) {
+    cfg.checked = checked[0] != '\0' && checked[0] != '0';
+  }
+
+  return service_table("service", cfg, options, roster_from_env()) ? 0 : 1;
+}

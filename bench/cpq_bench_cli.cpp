@@ -14,11 +14,16 @@
 //   --ops=20000               ops per thread     (quality/latency modes)
 //   --reps=3
 //   --seed=42
-//   --mode=throughput|quality|latency|sort
-//   --list                    print the queue roster and exit
+//   --mode=throughput|quality|latency|sort|service
+//   --arrival-hz=N            offered load per producer (service mode;
+//                             0 = closed loop)
+//   --checked                 wrap service-mode queues in CheckedQueue
+//   --json[=path]             append JSON-lines records (default stdout)
+//   --list                    print queues and benchmark modes, then exit
 //
 // Defaults reproduce a quick Fig.-1-style run. CPQ_* environment variables
-// seed the defaults, flags override.
+// seed the defaults, flags override. Unknown flags and malformed values
+// exit with status 2 before any measurement starts.
 
 #include <cerrno>
 #include <cstdio>
@@ -100,9 +105,24 @@ int usage(const char* argv0) {
                "          [--insert-fraction=F] [--prefill=N] "
                "[--threads=1,2,4]\n"
                "          [--ms=N] [--ops=N] [--reps=N] [--seed=N]\n"
-               "          [--mode=throughput|quality|latency|sort] [--list]\n",
+               "          [--mode=throughput|quality|latency|sort|service]\n"
+               "          [--arrival-hz=N] [--checked] [--json[=path]] "
+               "[--list]\n",
                argv0);
   return 2;
+}
+
+int list_registry() {
+  std::printf("queues:\n");
+  for (const QueueSpec& spec : queue_registry()) {
+    std::printf("  %-12s %s%s\n", spec.name.c_str(), spec.description.c_str(),
+                spec.in_paper ? "  [paper roster]" : "");
+  }
+  std::printf("benchmarks (--mode=...):\n");
+  for (const BenchModeSpec& mode : bench_mode_registry()) {
+    std::printf("  %-12s %s\n", mode.name.c_str(), mode.description.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -115,18 +135,32 @@ int main(int argc, char** argv) {
   std::string keys_text = "uniform32";
   double insert_fraction = 0.5;
   std::uint64_t batch_size = 1;
+  double arrival_hz = 0.0;
+  bool checked = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (std::strcmp(argv[i], "--list") == 0) {
-      for (const QueueSpec& spec : queue_registry()) {
-        std::printf("%-12s %s%s\n", spec.name.c_str(),
-                    spec.description.c_str(),
-                    spec.in_paper ? "  [paper roster]" : "");
-      }
-      return 0;
+      return list_registry();
     }
-    if (parse_flag(argv[i], "--queues", value)) {
+    if (std::strcmp(argv[i], "--checked") == 0) {
+      checked = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--json") == 0) {
+      JsonSink::instance().set_path("-");
+      continue;
+    }
+    if (parse_flag(argv[i], "--json", value)) {
+      if (value.empty()) {
+        return bad_value("--json", value, "want a path or '-'");
+      }
+      JsonSink::instance().set_path(value);
+    } else if (parse_flag(argv[i], "--arrival-hz", value)) {
+      if (!parse_double(value, arrival_hz) || arrival_hz < 0.0) {
+        return bad_value("--arrival-hz", value, "want a rate >= 0");
+      }
+    } else if (parse_flag(argv[i], "--queues", value)) {
       queues = value;
     } else if (parse_flag(argv[i], "--workload", value)) {
       workload_text = value;
@@ -180,6 +214,9 @@ int main(int argc, char** argv) {
         return bad_value("--seed", value, "want an unsigned integer");
       }
     } else if (parse_flag(argv[i], "--mode", value)) {
+      if (find_bench_mode(value) == nullptr) {
+        return bad_value("--mode", value, "see --list for benchmark modes");
+      }
       mode = value;
     } else {
       return usage(argv[0]);
@@ -244,6 +281,15 @@ int main(int argc, char** argv) {
       table.add_row(std::to_string(threads), std::move(cells));
     }
     table.print();
+  } else if (mode == "service") {
+    cpq::service::ServiceBenchConfig scfg;
+    scfg.duration_s = options.duration_s;
+    scfg.arrival_hz = arrival_hz;
+    scfg.prefill = options.prefill;
+    scfg.keys = cfg.keys;
+    scfg.seed = options.seed;
+    scfg.checked = checked;
+    if (!service_table("service", scfg, options, roster)) return 1;
   } else {
     return usage(argv[0]);
   }

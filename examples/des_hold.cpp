@@ -29,6 +29,7 @@
 #include "queues/globallock.hpp"
 #include "queues/klsm/klsm.hpp"
 #include "queues/multiqueue.hpp"
+#include "service/priority_service.hpp"
 
 namespace {
 
@@ -105,6 +106,33 @@ int main() {
   {
     cpq::KLsmQueue<std::uint64_t, std::uint64_t> q(kThreads, 4096);
     run_hold_model("klsm4096", q);
+  }
+  // The same event loop through the PriorityService dispatch layer: the
+  // service satisfies the queue-handle concept, so run_hold_model is
+  // oblivious to the sharding/batching underneath. Batching adds relaxation
+  // (more causality violations) in exchange for amortized synchronization —
+  // the trade the service makes visible.
+  {
+    using Inner = cpq::MultiQueue<std::uint64_t, std::uint64_t>;
+    cpq::service::ServiceConfig cfg;
+    cfg.shards = 2;
+    cfg.insert_batch = 8;
+    cfg.delete_batch = 8;
+    cpq::service::PriorityService<Inner> q(kThreads, cfg, [](unsigned shard) {
+      return std::make_unique<Inner>(kThreads, 4, shard + 1);
+    });
+    run_hold_model("mq+svc", q);
+  }
+  {
+    using Inner = cpq::GlobalLockQueue<std::uint64_t, std::uint64_t>;
+    cpq::service::ServiceConfig cfg;
+    cfg.shards = kThreads;
+    cfg.insert_batch = 8;
+    cfg.delete_batch = 8;
+    cpq::service::PriorityService<Inner> q(kThreads, cfg, [](unsigned) {
+      return std::make_unique<Inner>(kThreads);
+    });
+    run_hold_model("glock+svc", q);
   }
   return 0;
 }

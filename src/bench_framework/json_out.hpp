@@ -1,0 +1,64 @@
+// Machine-readable benchmark results: one JSON object per line ("JSON
+// Lines"), one line per (experiment, threads, queue, metric) cell.
+//
+// The ASCII tables are for humans; perf-trajectory tooling needs something
+// it can parse without scraping column widths. Setting the environment
+// variable CPQ_JSON=<path> (or passing --json[=path] to cpq_bench_cli)
+// makes every table-producing helper additionally append records of the
+// form
+//
+//   {"experiment":"fig1","threads":4,"queue":"mq",
+//    "metric":"throughput_mops","mean":12.34,"ci95":0.56,"reps":3}
+//
+// to <path> ("-" writes to stdout). Appending (not truncating) lets one
+// sweep over several bench binaries accumulate into a single BENCH_*.json
+// trajectory file. The writer and the parser below round-trip exactly
+// (tests/bench_framework_test.cpp), so downstream tooling can rely on the
+// schema.
+#pragma once
+
+#include <string>
+
+namespace cpq::bench {
+
+struct JsonRecord {
+  std::string experiment;  // e.g. "fig1_uniform_uniform"
+  std::string queue;       // registry name, e.g. "klsm256"
+  std::string metric;      // e.g. "throughput_mops", "rank_error_mean"
+  unsigned threads = 0;
+  double mean = 0.0;
+  double ci95 = 0.0;
+  unsigned reps = 0;
+
+  bool operator==(const JsonRecord&) const = default;
+};
+
+// Serialize to a single JSON object line (no trailing newline). Strings are
+// escaped per RFC 8259 (quote, backslash, control characters).
+std::string to_json_line(const JsonRecord& record);
+
+// Parse a line produced by to_json_line (tolerating whitespace between
+// tokens and any key order). Returns false on malformed input or missing
+// keys; unknown keys are rejected so schema drift fails loudly in tests.
+bool parse_json_record(const std::string& line, JsonRecord& out);
+
+// Process-wide sink. Disabled unless CPQ_JSON is set or set_path() is
+// called; record() is thread-safe and appends one line per call.
+class JsonSink {
+ public:
+  static JsonSink& instance();
+
+  // Override the destination: "" disables, "-" writes to stdout, anything
+  // else appends to that file. Takes precedence over CPQ_JSON.
+  void set_path(std::string path);
+
+  bool enabled() const;
+  void record(const JsonRecord& record);
+
+ private:
+  JsonSink();
+
+  std::string path_;
+};
+
+}  // namespace cpq::bench

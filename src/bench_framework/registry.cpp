@@ -71,6 +71,25 @@ QueueSpec make_spec(std::string name, std::string description, bool strict,
         },
         labeled);
   };
+  spec.service_bench = [factory,
+                        name = spec.name](const service::ServiceBenchConfig&
+                                              cfg) {
+    // The shard/queue factories reuse the throughput factory with a
+    // BenchConfig carrying only what it reads (prefill sizing, label).
+    BenchConfig inner;
+    inner.prefill = cfg.prefill;
+    inner.label = name;
+    auto make_queue = [&](unsigned threads, std::uint64_t seed) {
+      return factory(threads, seed, inner);
+    };
+    service::ServiceBenchConfig labeled = cfg;
+    labeled.label = name + " (raw)";
+    ServiceComparison comparison;
+    comparison.raw = service::run_open_loop_raw(make_queue, labeled);
+    labeled.label = name + " (service)";
+    comparison.service = service::run_open_loop_service(make_queue, labeled);
+    return comparison;
+  };
   return spec;
 }
 
@@ -196,6 +215,24 @@ std::vector<QueueSpec> build_registry() {
 const std::vector<QueueSpec>& queue_registry() {
   static const std::vector<QueueSpec> registry = build_registry();
   return registry;
+}
+
+const std::vector<BenchModeSpec>& bench_mode_registry() {
+  static const std::vector<BenchModeSpec> modes = {
+      {"throughput", "fixed-duration MOps/s sweep (paper Figs. 1-4)"},
+      {"quality", "rank-error replay, mean/stddev (paper Tables 1-5)"},
+      {"latency", "per-operation percentiles, p50/p99 ns (paper §F)"},
+      {"sort", "Larkin-Sen-Tarjan insert-all/delete-all phases (§F)"},
+      {"service", "open-loop Poisson task dispatch, raw vs PriorityService"},
+  };
+  return modes;
+}
+
+const BenchModeSpec* find_bench_mode(std::string_view name) {
+  for (const BenchModeSpec& mode : bench_mode_registry()) {
+    if (mode.name == name) return &mode;
+  }
+  return nullptr;
 }
 
 const QueueSpec* find_queue(std::string_view name) {

@@ -15,8 +15,16 @@
 
 #include "bench_framework/harness.hpp"
 #include "bench_framework/latency.hpp"
+#include "service/service_bench.hpp"
 
 namespace cpq::bench {
+
+// Raw-handles versus PriorityService-wrapped open-loop comparison
+// (src/service/service_bench.hpp) for one queue.
+struct ServiceComparison {
+  service::ServiceBenchResult raw;
+  service::ServiceBenchResult service;
+};
 
 struct QueueSpec {
   std::string name;
@@ -30,7 +38,24 @@ struct QueueSpec {
   // cfg.prefill items (timed), then delete until the queue is drained
   // (timed). Returns {insert MOps/s, delete MOps/s}.
   std::function<std::pair<double, double>(const BenchConfig&)> sort_phases;
+  // Open-loop task-dispatch benchmark: the same Poisson client traffic run
+  // against raw handles and through the PriorityService layer.
+  std::function<ServiceComparison(const service::ServiceBenchConfig&)>
+      service_bench;
 };
+
+// One benchmark mode of cpq_bench_cli (--mode=<name>), described for
+// --list and validated strictly before any measurement starts.
+struct BenchModeSpec {
+  std::string name;
+  std::string description;
+};
+
+// All CLI benchmark modes.
+const std::vector<BenchModeSpec>& bench_mode_registry();
+
+// nullptr when unknown.
+const BenchModeSpec* find_bench_mode(std::string_view name);
 
 // All registered queues, in the paper's presentation order.
 const std::vector<QueueSpec>& queue_registry();

@@ -1,0 +1,500 @@
+// PriorityService: a sharded, batched task-dispatch engine over any roster
+// queue (src/queues/queue_traits.hpp concept).
+//
+// The paper's central observation is that workload shape — not raw
+// throughput — decides which queue wins; a service front-end is where that
+// shape is actually controlled. This layer applies the two levers the
+// follow-up literature identifies as decisive: insertion/deletion buffering
+// ("Engineering MultiQueues", Williams & Sanders; the k-LSM's thread-local
+// DLSM blocks) and sharded two-choice routing. It wraps S independent
+// instances of an arbitrary queue and gives every client thread a Handle
+// with:
+//
+//   * an insertion buffer: submissions accumulate thread-locally and are
+//     flushed to one shard as a batch (amortizing the shard's
+//     synchronization over `insert_batch` tasks). The target shard is the
+//     less loaded of two uniformly random choices, which keeps shard sizes
+//     balanced within O(log log S) whp. A configurable flush deadline bounds
+//     how long a task may sit unpublished in a buffer.
+//   * a deletion buffer: pops refill thread-locally in batches of
+//     `delete_batch` from the shard whose last observed minimum is smaller
+//     (two-choice routing on pop); when the favoured shard is empty the
+//     handle *steals* from the other choice, and as a last resort sweeps
+//     every shard so that emptiness reports are trustworthy.
+//   * admission control: a global in-flight bound with reject or block
+//     (backpressure) policy, plus graceful close() + drain() shutdown.
+//
+// Ordering contract: the service inherits the relaxation of its shard queue
+// and adds its own — buffered tasks are invisible to other threads until
+// flushed, and prefetched tasks are delivered in batch order. Rank error
+// therefore grows with insert_batch * shards + delete_batch (measured by
+// bench/bench_service.cpp). Conservation (exactly-once delivery) is NOT
+// relaxed: every accepted task is delivered exactly once or recovered by
+// drain(); handles flush their insertion buffer and spill unconsumed
+// prefetched tasks back to a shard on destruction. tests/torture_test.cpp
+// audits this through CheckedQueue under fault injection for every roster
+// queue.
+//
+// Counters: per-shard (enqueued, dequeued, flushes, refills, steals, batch
+// fill) and service-wide (submitted, rejected, deadline flushes), readable
+// via stats() and dumpable through dump_stats() — which the open-loop bench
+// installs as the watchdog's diagnostics callback, so a livelocked service
+// run dies with a per-shard picture of where tasks piled up.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "platform/backoff.hpp"
+#include "platform/cache.hpp"
+#include "platform/rng.hpp"
+
+namespace cpq::service {
+
+enum class AdmissionPolicy : std::uint8_t {
+  kBlock,   // submitters wait (backpressure) until in-flight drops
+  kReject,  // try_submit returns false immediately when full
+};
+
+struct ServiceConfig {
+  // Shard count; 0 means one shard per client thread (at least one).
+  unsigned shards = 0;
+  // Insertion-buffer capacity per handle; 1 disables insert batching.
+  std::size_t insert_batch = 8;
+  // Deletion-buffer refill size per handle; 1 disables pop batching.
+  std::size_t delete_batch = 8;
+  // Flush the insertion buffer on the next submit once its oldest task has
+  // been buffered for this long; 0 disables deadline-based flushing.
+  std::uint64_t flush_deadline_us = 0;
+  // Admission bound on accepted-but-undelivered tasks; 0 = unbounded.
+  std::size_t max_in_flight = 0;
+  AdmissionPolicy policy = AdmissionPolicy::kBlock;
+  std::uint64_t seed = 1;
+};
+
+struct ShardStats {
+  std::uint64_t enqueued = 0;   // tasks flushed into the shard
+  std::uint64_t dequeued = 0;   // tasks popped out of the shard
+  std::uint64_t flushes = 0;    // insertion-buffer flushes landing here
+  std::uint64_t refills = 0;    // deletion-buffer refills served here
+  std::uint64_t steals = 0;     // refills served when not the routed choice
+  std::size_t approx_size = 0;  // load estimate (racy)
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;         // accepted tasks
+  std::uint64_t rejected = 0;          // admission rejections
+  std::uint64_t delivered = 0;         // tasks handed to consumers
+  std::uint64_t deadline_flushes = 0;  // flushes forced by the deadline
+  std::uint64_t flushes = 0;           // all insertion-buffer flushes
+  std::uint64_t refills = 0;           // all deletion-buffer refills
+  std::uint64_t steals = 0;            // all stolen refills
+  double mean_insert_fill = 0.0;       // tasks per flush
+  double mean_delete_fill = 0.0;       // tasks per refill
+  std::vector<ShardStats> shards;
+};
+
+template <typename Q>
+class PriorityService {
+ public:
+  using key_type = typename Q::key_type;
+  using value_type = typename Q::value_type;
+  using InnerHandle = decltype(std::declval<Q&>().get_handle(0u));
+
+  // `make_shard(shard_index)` constructs one shard queue; every shard must
+  // accept get_handle(tid) for tid in [0, max_threads).
+  template <typename ShardFactory>
+  PriorityService(unsigned max_threads, const ServiceConfig& config,
+                  ShardFactory&& make_shard)
+      : config_(sanitize(config, max_threads)),
+        shards_(config_.shards) {
+    for (unsigned s = 0; s < config_.shards; ++s) {
+      shards_[s].value.queue = make_shard(s);
+    }
+  }
+
+  class Handle {
+   public:
+    Handle(Handle&&) = default;
+    Handle& operator=(Handle&&) = delete;
+
+    // Queue-concept insert: never drops an accepted task. Blocks for a slot
+    // regardless of the configured policy (use try_submit for kReject
+    // semantics); the only way it can fail is a close()d service, which is a
+    // shutdown-ordering bug on the caller's side and is counted as rejected.
+    void insert(key_type key, value_type value) { (void)submit(key, value, true); }
+
+    // Policy-honouring submission. Returns false (and counts a rejection)
+    // when the service is closed, or when the in-flight bound is hit under
+    // AdmissionPolicy::kReject.
+    bool try_submit(key_type key, value_type value) {
+      return submit(key, value, config().policy == AdmissionPolicy::kBlock);
+    }
+
+    bool delete_min(key_type& key_out, value_type& value_out) {
+      if (dpos_ == dbuf_.size()) {
+        refill();
+        if (dpos_ == dbuf_.size() && !ibuf_.empty()) {
+          // Everything left may be sitting in our own insertion buffer (the
+          // hold-model shape: pop depends on a task we just submitted).
+          flush(false);
+          refill();
+        }
+        if (dpos_ == dbuf_.size()) return false;
+      }
+      key_out = dbuf_[dpos_].first;
+      value_out = dbuf_[dpos_].second;
+      ++dpos_;
+      service_->delivered_.fetch_add(1, std::memory_order_relaxed);
+      service_->release_slot();
+      return true;
+    }
+
+    // Publish every buffered submission now (deadline/batch independent).
+    void flush() { flush(false); }
+
+    std::size_t buffered_inserts() const noexcept { return ibuf_.size(); }
+    std::size_t buffered_deletes() const noexcept {
+      return dbuf_.size() - dpos_;
+    }
+
+    ~Handle() {
+      if (service_ == nullptr) return;  // moved from
+      flush(false);
+      // Spill prefetched-but-unconsumed tasks back into a shard so they stay
+      // deliverable (their in-flight slots are still held, correctly).
+      while (dpos_ < dbuf_.size()) {
+        const std::size_t s = rng_.next_below(service_->shards_.size());
+        service_->shards_[s].value.push(inner_[s], dbuf_[dpos_].first,
+                                        dbuf_[dpos_].second);
+        ++dpos_;
+      }
+    }
+
+   private:
+    friend class PriorityService;
+
+    Handle(PriorityService& service, unsigned thread_id)
+        : service_(&service),
+          rng_(thread_seed(service.config_.seed ^ 0x5e11ce, thread_id)) {
+      inner_.reserve(service.shards_.size());
+      for (auto& shard : service.shards_) {
+        inner_.push_back(shard.value.queue->get_handle(thread_id));
+      }
+      ibuf_.reserve(service.config_.insert_batch);
+      dbuf_.reserve(service.config_.delete_batch);
+    }
+
+    const ServiceConfig& config() const noexcept { return service_->config_; }
+
+    bool submit(key_type key, value_type value, bool block) {
+      if (!service_->acquire_slot(block)) {
+        service_->rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      service_->submitted_.fetch_add(1, std::memory_order_relaxed);
+      if (ibuf_.empty()) ibuf_oldest_ = std::chrono::steady_clock::now();
+      ibuf_.emplace_back(key, value);
+      if (ibuf_.size() >= config().insert_batch) {
+        flush(false);
+      } else if (config().flush_deadline_us != 0 && deadline_expired()) {
+        flush(true);
+      }
+      return true;
+    }
+
+    bool deadline_expired() const {
+      const auto age = std::chrono::steady_clock::now() - ibuf_oldest_;
+      return std::chrono::duration_cast<std::chrono::microseconds>(age)
+                 .count() >=
+             static_cast<std::int64_t>(config().flush_deadline_us);
+    }
+
+    void flush(bool deadline) {
+      if (ibuf_.empty()) return;
+      auto& shards = service_->shards_;
+      // Two-choice load balancing: flush into the smaller of two shards.
+      std::size_t a = rng_.next_below(shards.size());
+      std::size_t b = rng_.next_below(shards.size());
+      if (shards[b].value.size.load(std::memory_order_relaxed) <
+          shards[a].value.size.load(std::memory_order_relaxed)) {
+        a = b;
+      }
+      auto& shard = shards[a].value;
+      for (const auto& [key, value] : ibuf_) {
+        shard.push(inner_[a], key, value);
+      }
+      shard.flushes.fetch_add(1, std::memory_order_relaxed);
+      shard.flush_fill.fetch_add(ibuf_.size(), std::memory_order_relaxed);
+      if (deadline) {
+        service_->deadline_flushes_.fetch_add(1, std::memory_order_relaxed);
+      }
+      ibuf_.clear();
+    }
+
+    // Pull up to delete_batch tasks from the two-choice-routed shard, with
+    // steal fallback and a full sweep before reporting emptiness.
+    void refill() {
+      dbuf_.clear();
+      dpos_ = 0;
+      auto& shards = service_->shards_;
+      const std::size_t n = shards.size();
+      const std::size_t i = rng_.next_below(n);
+      std::size_t j = rng_.next_below(n);
+      // Route to the shard advertising the smaller minimum (pop side of the
+      // two-choice rule); unknown minima (kNoHint) lose against known ones.
+      const key_type hint_i =
+          shards[i].value.min_hint.load(std::memory_order_acquire);
+      const key_type hint_j =
+          shards[j].value.min_hint.load(std::memory_order_acquire);
+      const std::size_t first = (hint_j < hint_i) ? j : i;
+      const std::size_t second = (first == i) ? j : i;
+      if (refill_from(first, /*steal=*/false)) return;
+      if (second != first && refill_from(second, /*steal=*/true)) return;
+      // Both choices looked empty: sweep every shard so that a false return
+      // from delete_min means every shard really reported empty just now.
+      const std::size_t start = rng_.next_below(n);
+      for (std::size_t probe = 0; probe < n; ++probe) {
+        const std::size_t s = (start + probe) % n;
+        if (s == first || s == second) continue;
+        if (refill_from(s, /*steal=*/true)) return;
+      }
+    }
+
+    bool refill_from(std::size_t s, bool steal) {
+      auto& shard = service_->shards_[s].value;
+      key_type key;
+      value_type value;
+      std::size_t got = 0;
+      while (got < config().delete_batch &&
+             inner_[s].delete_min(key, value)) {
+        dbuf_.emplace_back(key, value);
+        ++got;
+      }
+      if (got == 0) {
+        shard.note_empty();
+        return false;
+      }
+      shard.note_popped(got, dbuf_.back().first,
+                        got < config().delete_batch);
+      shard.refills.fetch_add(1, std::memory_order_relaxed);
+      shard.refill_fill.fetch_add(got, std::memory_order_relaxed);
+      if (steal) shard.steals.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+
+    PriorityService* service_;
+    std::vector<InnerHandle> inner_;  // one per shard
+    std::vector<std::pair<key_type, value_type>> ibuf_;
+    std::chrono::steady_clock::time_point ibuf_oldest_{};
+    std::vector<std::pair<key_type, value_type>> dbuf_;
+    std::size_t dpos_ = 0;
+    Xoroshiro128 rng_;
+  };
+
+  Handle get_handle(unsigned thread_id) { return Handle(*this, thread_id); }
+
+  // Stop admitting work: subsequent submissions fail (and are counted as
+  // rejected); submitters blocked on the in-flight bound wake up and fail.
+  // Already-accepted tasks stay deliverable.
+  void close() noexcept { closed_.store(true, std::memory_order_release); }
+  bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  // Pop every remaining task into `sink(key, value)`. Call after every
+  // worker handle has been destroyed (which flushes their buffers); the
+  // drain itself re-polls each shard so relaxed transient emptiness cannot
+  // hide tasks. Returns the number of drained tasks.
+  template <typename Sink>
+  std::size_t drain(Sink&& sink) {
+    auto handle = get_handle(0);
+    key_type key;
+    value_type value;
+    std::size_t drained = 0;
+    unsigned misses = 0;
+    while (misses < 8) {
+      if (handle.delete_min(key, value)) {
+        sink(key, value);
+        ++drained;
+        misses = 0;
+      } else {
+        ++misses;  // delete_min already swept every shard
+      }
+    }
+    return drained;
+  }
+
+  std::size_t in_flight() const noexcept {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+  unsigned shard_count() const noexcept {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+  const ServiceConfig& config() const noexcept { return config_; }
+
+  ServiceStats stats() const {
+    ServiceStats out;
+    out.submitted = submitted_.load(std::memory_order_relaxed);
+    out.rejected = rejected_.load(std::memory_order_relaxed);
+    out.delivered = delivered_.load(std::memory_order_relaxed);
+    out.deadline_flushes = deadline_flushes_.load(std::memory_order_relaxed);
+    std::uint64_t flush_fill = 0;
+    std::uint64_t refill_fill = 0;
+    for (const auto& aligned : shards_) {
+      const Shard& shard = aligned.value;
+      ShardStats s;
+      s.enqueued = shard.enqueued.load(std::memory_order_relaxed);
+      s.dequeued = shard.dequeued.load(std::memory_order_relaxed);
+      s.flushes = shard.flushes.load(std::memory_order_relaxed);
+      s.refills = shard.refills.load(std::memory_order_relaxed);
+      s.steals = shard.steals.load(std::memory_order_relaxed);
+      s.approx_size = shard.size.load(std::memory_order_relaxed);
+      out.flushes += s.flushes;
+      out.refills += s.refills;
+      out.steals += s.steals;
+      flush_fill += shard.flush_fill.load(std::memory_order_relaxed);
+      refill_fill += shard.refill_fill.load(std::memory_order_relaxed);
+      out.shards.push_back(s);
+    }
+    if (out.flushes > 0) {
+      out.mean_insert_fill =
+          static_cast<double>(flush_fill) / static_cast<double>(out.flushes);
+    }
+    if (out.refills > 0) {
+      out.mean_delete_fill =
+          static_cast<double>(refill_fill) / static_cast<double>(out.refills);
+    }
+    return out;
+  }
+
+  // Human-readable per-shard counter dump; installed as the watchdog's
+  // diagnostics callback by the service bench so livelocks die loudly with
+  // the shard-level picture.
+  void dump_stats(std::FILE* out) const {
+    const ServiceStats s = stats();
+    std::fprintf(out,
+                 "[cpq-service] submitted=%llu delivered=%llu rejected=%llu "
+                 "in_flight=%zu deadline_flushes=%llu mean_fill=%.2f/%.2f\n",
+                 static_cast<unsigned long long>(s.submitted),
+                 static_cast<unsigned long long>(s.delivered),
+                 static_cast<unsigned long long>(s.rejected), in_flight(),
+                 static_cast<unsigned long long>(s.deadline_flushes),
+                 s.mean_insert_fill, s.mean_delete_fill);
+    for (std::size_t i = 0; i < s.shards.size(); ++i) {
+      const ShardStats& sh = s.shards[i];
+      std::fprintf(out,
+                   "[cpq-service]   shard %zu: enq=%llu deq=%llu size~%zu "
+                   "flushes=%llu refills=%llu steals=%llu\n",
+                   i, static_cast<unsigned long long>(sh.enqueued),
+                   static_cast<unsigned long long>(sh.dequeued),
+                   sh.approx_size, static_cast<unsigned long long>(sh.flushes),
+                   static_cast<unsigned long long>(sh.refills),
+                   static_cast<unsigned long long>(sh.steals));
+    }
+  }
+
+ private:
+  // Per-shard load/minimum hints are heuristics for routing only; the
+  // refill sweep never trusts them for emptiness (the MultiQueue mirror
+  // lesson: a hint equal to the maximal key cannot hide real items).
+  static constexpr key_type kNoHint = std::numeric_limits<key_type>::max();
+
+  struct Shard {
+    std::unique_ptr<Q> queue;
+    std::atomic<key_type> min_hint{kNoHint};
+    std::atomic<std::size_t> size{0};
+    std::atomic<std::uint64_t> enqueued{0};
+    std::atomic<std::uint64_t> dequeued{0};
+    std::atomic<std::uint64_t> flushes{0};
+    std::atomic<std::uint64_t> refills{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> flush_fill{0};
+    std::atomic<std::uint64_t> refill_fill{0};
+
+    void push(InnerHandle& handle, key_type key, value_type value) {
+      handle.insert(key, value);
+      size.fetch_add(1, std::memory_order_relaxed);
+      enqueued.fetch_add(1, std::memory_order_relaxed);
+      // Monotone CAS-min keeps the hint a lower-ish bound on the content.
+      key_type seen = min_hint.load(std::memory_order_relaxed);
+      while (key < seen && !min_hint.compare_exchange_weak(
+                               seen, key, std::memory_order_release,
+                               std::memory_order_relaxed)) {
+      }
+    }
+
+    void note_popped(std::size_t count, key_type last_key,
+                     bool now_empty) noexcept {
+      dequeued.fetch_add(count, std::memory_order_relaxed);
+      std::size_t seen = size.load(std::memory_order_relaxed);
+      while (!size.compare_exchange_weak(
+          seen, seen >= count ? seen - count : 0, std::memory_order_relaxed,
+          std::memory_order_relaxed)) {
+      }
+      // Remaining shard content is (approximately) >= the last popped key;
+      // an exhausted shard advertises "unknown/empty".
+      min_hint.store(now_empty ? kNoHint : last_key,
+                     std::memory_order_release);
+    }
+
+    void note_empty() noexcept {
+      min_hint.store(kNoHint, std::memory_order_release);
+    }
+  };
+
+  static ServiceConfig sanitize(ServiceConfig config, unsigned max_threads) {
+    if (config.shards == 0) config.shards = max_threads == 0 ? 1 : max_threads;
+    if (config.insert_batch == 0) config.insert_batch = 1;
+    if (config.delete_batch == 0) config.delete_batch = 1;
+    return config;
+  }
+
+  bool acquire_slot(bool block) {
+    if (closed()) return false;
+    if (config_.max_in_flight == 0) {
+      in_flight_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    Backoff backoff;
+    for (;;) {
+      std::size_t current = in_flight_.load(std::memory_order_relaxed);
+      if (current < config_.max_in_flight) {
+        if (in_flight_.compare_exchange_weak(current, current + 1,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed)) {
+          return true;
+        }
+        continue;
+      }
+      if (!block || closed()) return false;
+      backoff.pause();
+    }
+  }
+
+  void release_slot() noexcept {
+    in_flight_.fetch_sub(1, std::memory_order_release);
+  }
+
+  ServiceConfig config_;
+  std::vector<CacheAligned<Shard>> shards_;
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> deadline_flushes_{0};
+  std::atomic<bool> closed_{false};
+
+  friend class Handle;
+};
+
+}  // namespace cpq::service

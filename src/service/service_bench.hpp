@@ -1,0 +1,279 @@
+// Open-loop client simulator for the PriorityService layer.
+//
+// The paper's harness is closed-loop: every worker issues its next operation
+// the moment the previous one returns, so the offered load adapts to the
+// queue under test. A service front-end faces the opposite regime — tasks
+// arrive when clients send them, not when the queue is ready — so this
+// harness drives *open-loop* traffic: producer threads submit tasks on a
+// Poisson arrival schedule (exponential inter-arrival times, independent of
+// completion), consumer threads pop continuously. Measured per run:
+//
+//   * offered and delivered task rates (tasks/s),
+//   * completion-rank error, reusing the quality replay engine: every
+//     submission and delivery is timestamped and replayed through the
+//     order-statistic tree, so the service's extra relaxation (buffering,
+//     sharding) is quantified with the same metric as the raw queues,
+//   * the service's per-shard counters (batch fill, steals, flushes).
+//
+// The same loop runs against raw queue handles and against the service (and,
+// for validation, against CheckedQueue-wrapped engines), so
+// bench/bench_service.cpp can print service-vs-raw columns from one code
+// path. The progress watchdog supervises every worker; for service runs the
+// service's per-shard counter dump is installed as the watchdog diagnostics
+// callback.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_framework/harness.hpp"
+#include "bench_framework/keygen.hpp"
+#include "platform/backoff.hpp"
+#include "platform/cache.hpp"
+#include "platform/rng.hpp"
+#include "platform/thread_util.hpp"
+#include "platform/timing.hpp"
+#include "service/priority_service.hpp"
+#include "validation/checked_queue.hpp"
+#include "validation/watchdog.hpp"
+
+namespace cpq::service {
+
+struct ServiceBenchConfig {
+  unsigned producers = 2;
+  unsigned consumers = 2;
+  double duration_s = 0.1;
+  // Per-producer Poisson arrival rate in tasks/s; 0 = submit continuously
+  // (a closed-loop firehose, the saturation upper bound).
+  double arrival_hz = 0.0;
+  std::size_t prefill = 0;
+  bench::KeyConfig keys = bench::KeyConfig::uniform(32);
+  ServiceConfig service;
+  // Wrap the engine in validation::CheckedQueue and reconcile at the end
+  // (combine with a CPQ_FAULT_INJECTION build for torture coverage).
+  bool checked = false;
+  bool measure_quality = true;
+  std::uint64_t seed = 42;
+  bool pin_threads = true;
+  double watchdog_s = -1.0;
+  std::string label;
+};
+
+struct ServiceBenchResult {
+  double offered_per_s = 0.0;    // producer submissions / elapsed
+  double delivered_per_s = 0.0;  // consumer deliveries / elapsed
+  std::uint64_t submitted = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t drained = 0;  // tasks recovered after shutdown
+  double median_rank_error = 0.0;
+  std::uint64_t max_rank_error = 0;
+  std::uint64_t deletions = 0;  // deliveries scored by the replay
+  ServiceStats stats;           // zeroed for raw-queue runs
+  bool conservation_ok = true;  // meaningful when cfg.checked
+  std::string conservation_report;
+};
+
+namespace detail {
+
+// Drive the open-loop producer/consumer team over any engine satisfying the
+// queue handle concept. Fills `logs` (producers+consumers+1 slots, prefill
+// last) when cfg.measure_quality, and the submitted/delivered totals.
+template <typename Engine>
+void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
+                   validation::Watchdog::Diagnostics diagnostics,
+                   std::vector<std::vector<bench::OpLogEntry>>& logs,
+                   ServiceBenchResult& result) {
+  const unsigned threads = cfg.producers + cfg.consumers;
+  logs.assign(threads + 1, {});
+
+  {  // Prefill through a scoped handle (service handles flush on exit).
+    auto handle = engine.get_handle(0);
+    bench::KeyGenerator gen(cfg.keys, cfg.seed ^ 0x9e3779b9ULL,
+                            bench::detail::kPrefillThread);
+    for (std::size_t i = 0; i < cfg.prefill; ++i) {
+      const std::uint64_t key = gen.next();
+      const std::uint64_t id =
+          bench::detail::item_id(bench::detail::kPrefillThread, i);
+      handle.insert(key, id);
+      if (cfg.measure_quality) {
+        logs[threads].push_back({fast_timestamp(), key, id, true});
+      }
+    }
+  }
+
+  std::vector<validation::WorkerProgress> progress(threads);
+  validation::Watchdog watchdog(
+      cfg.label.empty() ? "service-bench" : cfg.label, progress.data(),
+      threads, validation::watchdog_deadline(cfg.watchdog_s),
+      std::move(diagnostics));
+
+  std::vector<CacheAligned<std::uint64_t>> submitted(threads);
+  std::vector<CacheAligned<std::uint64_t>> delivered(threads);
+  SpinBarrier barrier(threads + 1);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> team;
+  team.reserve(threads);
+  for (unsigned tid = 0; tid < threads; ++tid) {
+    team.emplace_back([&, tid] {
+      if (cfg.pin_threads) pin_to_core(tid);
+      auto handle = engine.get_handle(tid);
+      auto& log = logs[tid];
+      if (tid < cfg.producers) {
+        bench::KeyGenerator gen(cfg.keys, cfg.seed, tid);
+        Xoroshiro128 arrivals(thread_seed(cfg.seed ^ 0xa441a1, tid));
+        std::uint64_t counter = 0;
+        double next_arrival_ns = 0.0;
+        barrier.arrive_and_wait();
+        Stopwatch watch;
+        while (!stop.load(std::memory_order_relaxed)) {
+          if (cfg.arrival_hz > 0.0) {
+            // Exponential inter-arrival: the open-loop schedule does not
+            // wait for the service, only for the wall clock.
+            next_arrival_ns +=
+                -std::log(1.0 - arrivals.next_double()) * 1e9 / cfg.arrival_hz;
+            while (static_cast<double>(watch.elapsed_ns()) < next_arrival_ns) {
+              if (stop.load(std::memory_order_relaxed)) return;
+              cpu_relax();
+            }
+          }
+          const std::uint64_t key = gen.next();
+          const std::uint64_t id = bench::detail::item_id(tid, counter++);
+          handle.insert(key, id);
+          if (cfg.measure_quality) {
+            log.push_back({fast_timestamp(), key, id, true});
+          }
+          ++submitted[tid].value;
+          progress[tid].tick(submitted[tid].value,
+                             validation::LastOp::kInsert);
+        }
+      } else {
+        std::uint64_t ops = 0;
+        barrier.arrive_and_wait();
+        while (!stop.load(std::memory_order_relaxed)) {
+          std::uint64_t key;
+          std::uint64_t id;
+          const bool hit = handle.delete_min(key, id);
+          if (hit) {
+            if (cfg.measure_quality) {
+              log.push_back({fast_timestamp(), key, id, false});
+            }
+            ++delivered[tid].value;
+          } else {
+            cpu_relax();
+          }
+          progress[tid].tick(++ops, hit ? validation::LastOp::kDeleteHit
+                                        : validation::LastOp::kDeleteEmpty);
+        }
+      }
+    });
+  }
+
+  barrier.arrive_and_wait();
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::duration<double>(cfg.duration_s));
+  stop.store(true, std::memory_order_release);
+  const double elapsed = watch.elapsed_seconds();
+  for (auto& t : team) t.join();
+  watchdog.stop();
+
+  for (unsigned tid = 0; tid < threads; ++tid) {
+    result.submitted += submitted[tid].value;
+    result.delivered += delivered[tid].value;
+  }
+  result.offered_per_s = static_cast<double>(result.submitted) / elapsed;
+  result.delivered_per_s = static_cast<double>(result.delivered) / elapsed;
+}
+
+inline void score_quality(std::vector<std::vector<bench::OpLogEntry>>& logs,
+                          ServiceBenchResult& result) {
+  std::vector<double> errors;
+  std::uint64_t max_err = 0;
+  bench::replay_rank_errors(logs, errors, max_err);
+  result.deletions = errors.size();
+  result.max_rank_error = max_err;
+  if (!errors.empty()) {
+    const std::size_t mid = errors.size() / 2;
+    std::nth_element(errors.begin(), errors.begin() + mid, errors.end());
+    result.median_rank_error = errors[mid];
+  }
+}
+
+}  // namespace detail
+
+// Open-loop run against raw queue handles (the baseline column).
+// `make_queue(threads, seed)` constructs the queue under test.
+template <typename Factory>
+ServiceBenchResult run_open_loop_raw(Factory&& make_queue,
+                                     const ServiceBenchConfig& cfg) {
+  const unsigned threads = cfg.producers + cfg.consumers;
+  ServiceBenchResult result;
+  std::vector<std::vector<bench::OpLogEntry>> logs;
+  if (cfg.checked) {
+    using Q = typename std::decay_t<decltype(*make_queue(threads,
+                                                         cfg.seed))>;
+    validation::CheckedQueue<Q> checked(threads, make_queue(threads, cfg.seed));
+    detail::open_loop_run(checked, cfg, {}, logs, result);
+    const validation::ReconcileReport report = checked.reconcile();
+    result.conservation_ok = report.ok();
+    result.conservation_report = report.to_string();
+    result.drained = report.drained;
+  } else {
+    auto queue = make_queue(threads, cfg.seed);
+    detail::open_loop_run(*queue, cfg, {}, logs, result);
+  }
+  if (cfg.measure_quality) detail::score_quality(logs, result);
+  return result;
+}
+
+// Open-loop run through PriorityService-wrapped shards. Each shard queue is
+// built by `make_queue(threads, shard_seed)`.
+template <typename Factory>
+ServiceBenchResult run_open_loop_service(Factory&& make_queue,
+                                         const ServiceBenchConfig& cfg) {
+  const unsigned threads = cfg.producers + cfg.consumers;
+  using Q = typename std::decay_t<decltype(*make_queue(threads, cfg.seed))>;
+  using Service = PriorityService<Q>;
+  ServiceConfig scfg = cfg.service;
+  scfg.seed = cfg.seed;
+  auto make_service = [&] {
+    return std::make_unique<Service>(
+        threads, scfg, [&](unsigned shard) {
+          return make_queue(threads, thread_seed(cfg.seed, shard));
+        });
+  };
+
+  ServiceBenchResult result;
+  std::vector<std::vector<bench::OpLogEntry>> logs;
+  if (cfg.checked) {
+    validation::CheckedQueue<Service> checked(threads, make_service());
+    Service& service = checked.inner();
+    detail::open_loop_run(
+        checked, cfg, [&service](std::FILE* out) { service.dump_stats(out); },
+        logs, result);
+    result.stats = service.stats();
+    const validation::ReconcileReport report = checked.reconcile();
+    result.conservation_ok = report.ok();
+    result.conservation_report = report.to_string();
+    result.drained = report.drained;
+  } else {
+    auto service = make_service();
+    Service& ref = *service;
+    detail::open_loop_run(
+        *service, cfg, [&ref](std::FILE* out) { ref.dump_stats(out); }, logs,
+        result);
+    result.stats = service->stats();
+    service->close();
+    result.drained = service->drain([](std::uint64_t, std::uint64_t) {});
+  }
+  if (cfg.measure_quality) detail::score_quality(logs, result);
+  return result;
+}
+
+}  // namespace cpq::service

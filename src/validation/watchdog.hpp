@@ -21,9 +21,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "platform/cache.hpp"
 
@@ -76,14 +78,21 @@ inline double watchdog_deadline(double override_s,
 
 class Watchdog {
  public:
+  // Optional subsystem diagnostics appended to the stall dump: layers above
+  // the raw queues (e.g. the priority service's per-shard counters) register
+  // a callback writing their state to the given stream.
+  using Diagnostics = std::function<void(std::FILE*)>;
+
   // Supervise `count` workers. A deadline <= 0 (or no workers) disables the
   // watchdog entirely — no thread is started.
   Watchdog(std::string label, const WorkerProgress* workers,
-           std::size_t count, double deadline_s)
+           std::size_t count, double deadline_s,
+           Diagnostics diagnostics = {})
       : label_(std::move(label)),
         workers_(workers),
         count_(count),
-        deadline_s_(deadline_s) {
+        deadline_s_(deadline_s),
+        diagnostics_(std::move(diagnostics)) {
     if (deadline_s_ > 0.0 && workers_ != nullptr && count_ > 0) {
       thread_ = std::thread([this] { run(); });
     }
@@ -148,6 +157,7 @@ class Watchdog {
               workers_[i].ops.load(std::memory_order_relaxed)),
           last_op_name(workers_[i].last_op.load(std::memory_order_relaxed)));
     }
+    if (diagnostics_) diagnostics_(stderr);
     std::fflush(stderr);
     std::_Exit(kWatchdogExitCode);
   }
@@ -156,6 +166,7 @@ class Watchdog {
   const WorkerProgress* const workers_;
   const std::size_t count_;
   const double deadline_s_;
+  const Diagnostics diagnostics_;
 
   std::mutex mutex_;
   std::condition_variable cv_;

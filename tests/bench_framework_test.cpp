@@ -5,10 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench_framework/harness.hpp"
+#include "bench_framework/json_out.hpp"
 #include "bench_framework/keygen.hpp"
 #include "bench_framework/options.hpp"
 #include "bench_framework/stats.hpp"
@@ -17,6 +20,98 @@
 
 namespace cpq::bench {
 namespace {
+
+// ---- JSON-lines output -------------------------------------------------
+
+TEST(JsonOut, RoundTripsEveryField) {
+  const JsonRecord record{"Fig. 1 — uniform workload", "klsm256",
+                          "throughput_mops", 8, 12.3456789012345678, 0.5625,
+                          10};
+  JsonRecord parsed;
+  ASSERT_TRUE(parse_json_record(to_json_line(record), parsed));
+  EXPECT_EQ(parsed, record);
+}
+
+TEST(JsonOut, RoundTripsHostileStringsAndExtremeDoubles) {
+  JsonRecord record;
+  record.experiment = "quote\" backslash\\ tab\t newline\n ctrl\x01 end";
+  record.queue = "mq";
+  record.metric = "rank_error_mean";
+  record.threads = 4096;
+  record.mean = 1.7976931348623157e308;  // max double round-trips via %.17g
+  record.ci95 = -0.0001220703125;
+  record.reps = 1;
+  JsonRecord parsed;
+  ASSERT_TRUE(parse_json_record(to_json_line(record), parsed));
+  EXPECT_EQ(parsed, record);
+}
+
+TEST(JsonOut, ParserToleratesWhitespaceAndKeyOrder) {
+  JsonRecord parsed;
+  ASSERT_TRUE(parse_json_record(
+      "  { \"reps\" : 3 , \"mean\" : 1.5 , \"ci95\" : 0.25 ,\n"
+      "    \"metric\" : \"throughput_mops\" , \"queue\" : \"mq\" ,\n"
+      "    \"threads\" : 2 , \"experiment\" : \"fig1\" }  ",
+      parsed));
+  EXPECT_EQ(parsed,
+            (JsonRecord{"fig1", "mq", "throughput_mops", 2, 1.5, 0.25, 3}));
+}
+
+TEST(JsonOut, ParserRejectsSchemaDrift) {
+  const std::string good = to_json_line(
+      {"fig1", "mq", "throughput_mops", 2, 1.5, 0.25, 3});
+  JsonRecord parsed;
+  ASSERT_TRUE(parse_json_record(good, parsed));
+  // Unknown key.
+  EXPECT_FALSE(parse_json_record(
+      R"({"experiment":"e","threads":1,"queue":"q","metric":"m","mean":1,"ci95":0,"reps":1,"extra":7})",
+      parsed));
+  // Missing key.
+  EXPECT_FALSE(parse_json_record(
+      R"({"experiment":"e","threads":1,"queue":"q","metric":"m","mean":1,"ci95":0})",
+      parsed));
+  // Duplicated key.
+  EXPECT_FALSE(parse_json_record(
+      R"({"experiment":"e","experiment":"e","threads":1,"queue":"q","metric":"m","mean":1,"ci95":0,"reps":1})",
+      parsed));
+  // Trailing garbage, truncation, and non-objects.
+  EXPECT_FALSE(parse_json_record(good + "x", parsed));
+  EXPECT_FALSE(parse_json_record(good.substr(0, good.size() - 5), parsed));
+  EXPECT_FALSE(parse_json_record("[]", parsed));
+  EXPECT_FALSE(parse_json_record("", parsed));
+}
+
+TEST(JsonOut, SinkAppendsParsableLinesToFile) {
+  const std::string path = ::testing::TempDir() + "cpq_json_sink_test.jsonl";
+  std::remove(path.c_str());
+  JsonSink& sink = JsonSink::instance();
+  sink.set_path(path);
+  const JsonRecord a{"fig1", "mq", "throughput_mops", 2, 1.5, 0.25, 3};
+  const JsonRecord b{"fig1", "linden", "throughput_mops", 2, 0.75, 0.125, 3};
+  sink.record(a);
+  sink.record(b);
+  sink.set_path("");  // disable again for the rest of the suite
+  EXPECT_FALSE(sink.enabled());
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[512];
+  std::vector<JsonRecord> parsed;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    std::string text(line);
+    while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+      text.pop_back();
+    }
+    JsonRecord record;
+    ASSERT_TRUE(parse_json_record(text, record)) << text;
+    parsed.push_back(record);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0], a);
+  EXPECT_EQ(parsed[1], b);
+}
 
 // ---- key generators --------------------------------------------------
 

@@ -5,14 +5,52 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "bench_framework/json_out.hpp"
 #include "bench_framework/registry.hpp"
 
 namespace cpq::bench {
 namespace {
+
+// Run the real cpq_bench_cli binary (path injected by CMake) with the given
+// arguments; returns its exit status and captures stdout.
+int run_cli(const std::string& args, std::string& stdout_text) {
+  const std::string cmd =
+      std::string(CPQ_BENCH_CLI_PATH) + " " + args + " 2>/dev/null";
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return -1;
+  stdout_text.clear();
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    stdout_text.append(buf, got);
+  }
+  const int status = pclose(pipe);
+  if (status == -1) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::vector<JsonRecord> parse_json_lines(const std::string& text) {
+  std::vector<JsonRecord> records;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] != '{') continue;
+    JsonRecord record;
+    EXPECT_TRUE(parse_json_record(line, record)) << "bad JSON line: " << line;
+    records.push_back(record);
+  }
+  return records;
+}
 
 BenchConfig tiny_config() {
   BenchConfig cfg;
@@ -35,6 +73,19 @@ TEST(Registry, ContainsThePaperRoster) {
   EXPECT_EQ(roster[4]->name, "klsm128");
   EXPECT_EQ(roster[5]->name, "klsm256");
   EXPECT_EQ(roster[6]->name, "klsm4096");
+}
+
+TEST(Registry, BenchModesAreRegisteredAndDescribed) {
+  const auto& modes = bench_mode_registry();
+  ASSERT_EQ(modes.size(), 5u);
+  for (const char* name :
+       {"throughput", "quality", "latency", "sort", "service"}) {
+    const BenchModeSpec* mode = find_bench_mode(name);
+    ASSERT_NE(mode, nullptr) << name;
+    EXPECT_FALSE(mode->description.empty()) << name;
+  }
+  EXPECT_EQ(find_bench_mode("bogus"), nullptr);
+  EXPECT_EQ(find_bench_mode(""), nullptr);
 }
 
 TEST(Registry, FindAndResolve) {
@@ -221,6 +272,115 @@ TEST(Integration, QualityDeterministicForFixedSeed) {
   const QualityResult b = glock->quality(cfg);
   EXPECT_EQ(a.deletions, b.deletions);
   EXPECT_DOUBLE_EQ(a.rank_error.mean, b.rank_error.mean);
+}
+
+// ---- the PriorityService dispatch layer through the registry -------------
+
+service::ServiceBenchConfig tiny_service_config() {
+  service::ServiceBenchConfig cfg;
+  cfg.producers = 1;
+  cfg.consumers = 1;
+  cfg.duration_s = 0.02;
+  cfg.prefill = 500;
+  cfg.seed = 7;
+  cfg.pin_threads = false;
+  return cfg;
+}
+
+// Every roster queue must run through PriorityService wrapped in
+// CheckedQueue with zero conservation violations (the PR's acceptance bar;
+// the fault-injected variant of the same property lives in torture_test).
+TEST(Integration, ServiceBenchConservesForEveryQueueChecked) {
+  service::ServiceBenchConfig cfg = tiny_service_config();
+  cfg.checked = true;
+  for (const QueueSpec& spec : queue_registry()) {
+    SCOPED_TRACE(spec.name);
+    const ServiceComparison comparison = spec.service_bench(cfg);
+    EXPECT_TRUE(comparison.raw.conservation_ok)
+        << spec.name << ": " << comparison.raw.conservation_report;
+    EXPECT_TRUE(comparison.service.conservation_ok)
+        << spec.name << ": " << comparison.service.conservation_report;
+    EXPECT_GT(comparison.raw.delivered, 0u);
+    EXPECT_GT(comparison.service.delivered, 0u);
+    EXPECT_GE(comparison.service.stats.flushes, 1u);
+  }
+}
+
+TEST(Integration, ServiceBenchAccountsShutdownUnchecked) {
+  const service::ServiceBenchConfig cfg = tiny_service_config();
+  const QueueSpec* mq = find_queue("mq");
+  ASSERT_NE(mq, nullptr);
+  const ServiceComparison comparison = mq->service_bench(cfg);
+  // close()+drain() accounting: every accepted task was delivered or
+  // recovered by the drain — nothing dropped at shutdown.
+  EXPECT_EQ(comparison.service.stats.submitted,
+            comparison.service.stats.delivered + comparison.service.drained);
+  EXPECT_GT(comparison.service.deletions, 0u);
+}
+
+// ---- cpq_bench_cli as a black box ----------------------------------------
+
+TEST(BenchCli, ListPrintsQueuesAndBenchmarksAndExitsZero) {
+  std::string out;
+  ASSERT_EQ(run_cli("--list", out), 0);
+  EXPECT_NE(out.find("queues:"), std::string::npos);
+  EXPECT_NE(out.find("benchmarks (--mode=...):"), std::string::npos);
+  for (const QueueSpec& spec : queue_registry()) {
+    EXPECT_NE(out.find(spec.name), std::string::npos) << spec.name;
+    EXPECT_NE(out.find(spec.description), std::string::npos) << spec.name;
+  }
+  for (const BenchModeSpec& mode : bench_mode_registry()) {
+    EXPECT_NE(out.find(mode.name), std::string::npos) << mode.name;
+    EXPECT_NE(out.find(mode.description), std::string::npos) << mode.name;
+  }
+}
+
+TEST(BenchCli, InvalidFlagsExitWithStatusTwo) {
+  std::string out;
+  EXPECT_EQ(run_cli("--mode=bogus", out), 2);
+  EXPECT_EQ(run_cli("--no-such-flag", out), 2);
+  EXPECT_EQ(run_cli("--reps=3x", out), 2);
+  EXPECT_EQ(run_cli("--ms=-5", out), 2);
+  EXPECT_EQ(run_cli("--insert-fraction=1.5", out), 2);
+  EXPECT_EQ(run_cli("--arrival-hz=nope", out), 2);
+  EXPECT_EQ(run_cli("--json=", out), 2);
+  EXPECT_EQ(run_cli("--queues=bogus1,bogus2", out), 2);
+}
+
+TEST(BenchCli, JsonOutputValidatesAgainstSchema) {
+  std::string out;
+  ASSERT_EQ(
+      run_cli("--mode=throughput --queues=glock,mq --threads=1 --ms=5 "
+              "--reps=2 --prefill=200 --json=-",
+              out),
+      0);
+  const std::vector<JsonRecord> records = parse_json_lines(out);
+  ASSERT_EQ(records.size(), 2u);  // one per (threads, queue) cell
+  for (const JsonRecord& record : records) {
+    EXPECT_EQ(record.metric, "throughput_mops");
+    EXPECT_EQ(record.threads, 1u);
+    EXPECT_EQ(record.reps, 2u);
+    EXPECT_GT(record.mean, 0.0);
+    EXPECT_NE(record.experiment.find("custom"), std::string::npos);
+  }
+  EXPECT_EQ(records[0].queue, "glock");
+  EXPECT_EQ(records[1].queue, "mq");
+}
+
+TEST(BenchCli, ServiceModeEmitsServiceMetrics) {
+  std::string out;
+  ASSERT_EQ(
+      run_cli("--mode=service --queues=glock --threads=2 --ms=10 "
+              "--prefill=200 --json=-",
+              out),
+      0);
+  const std::vector<JsonRecord> records = parse_json_lines(out);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].metric, "raw_tasks_per_s");
+  EXPECT_EQ(records[1].metric, "service_tasks_per_s");
+  EXPECT_EQ(records[2].metric, "service_rank_error_median");
+  EXPECT_GT(records[0].mean, 0.0);
+  EXPECT_GT(records[1].mean, 0.0);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -330,6 +331,51 @@ TYPED_TEST(QueueConcurrentTest, HeavyContentionSmoke) {
     }
   });
   EXPECT_EQ(ops.load(), kThreads * 3000u);
+}
+
+// Regression for the MultiQueue empty-sentinel edge under concurrency: the
+// per-queue min mirror uses numeric_limits<Key>::max() for "empty", so items
+// carrying exactly that key are invisible to the two-choice routing and are
+// findable only through the exact count mirrors. A mix of maximal keys and
+// ordinary keys, raced by concurrent consumers, must conserve every item.
+TEST(MultiQueueMaxKeyConcurrent, MaximalKeyItemsSurviveContention) {
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerProducer = 3000;
+  constexpr K kMax = std::numeric_limits<K>::max();
+  validation::CheckedQueue<MultiQueue<K, V>> queue(
+      kThreads, std::make_unique<MultiQueue<K, V>>(kThreads, 4, 17));
+
+  std::atomic<std::uint64_t> consumed{0};
+  run_team(kThreads, [&](unsigned tid) {
+    auto handle = queue.get_handle(tid);
+    if (tid < 2) {
+      Xoroshiro128 rng(tid + 29);
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        // Every third insertion is the maximal key; the rest keep the
+        // mirrors busy with ordinary updates.
+        const K key = (i % 3 == 0) ? kMax : rng.next_below(1u << 16);
+        handle.insert(key, value_of(tid, i));
+      }
+    } else {
+      unsigned misses = 0;
+      while (consumed.load(std::memory_order_relaxed) < 2 * kPerProducer &&
+             misses < 5000) {
+        K k;
+        V v;
+        if (handle.delete_min(k, v)) {
+          consumed.fetch_add(1, std::memory_order_relaxed);
+          misses = 0;
+        } else {
+          ++misses;
+        }
+      }
+    }
+  });
+
+  const validation::ReconcileReport report = queue.reconcile();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.inserted, 2 * kPerProducer);
+  EXPECT_EQ(report.inserted, report.deleted + report.drained);
 }
 
 }  // namespace

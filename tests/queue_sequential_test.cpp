@@ -290,6 +290,46 @@ TYPED_TEST(QueueSequentialTest, DuplicateKeysAllComeBack) {
   EXPECT_EQ(values.size(), 500u);
 }
 
+// Regression: MultiQueue mirrors each local queue's minimum into an atomic,
+// with numeric_limits<Key>::max() doubling as the "empty" sentinel. An item
+// whose key *is* the maximal key makes the mirror indistinguishable from an
+// empty queue; delete_min must fall back on the exact per-queue counts and
+// never lose such an item (src/queues/multiqueue.hpp count mirror).
+TEST(MultiQueueMaxKey, MaximalKeyItemsAreNeverLost) {
+  constexpr K kMax = std::numeric_limits<K>::max();
+  static_assert(MultiQueue<K, V>::kEmptyKey == kMax);
+  MultiQueue<K, V> queue(1, 4, /*seed=*/3);
+  auto handle = queue.get_handle(0);
+  for (V i = 0; i < 64; ++i) handle.insert(kMax, i);
+  std::set<V> values;
+  K k;
+  V v;
+  while (handle.delete_min(k, v)) {
+    EXPECT_EQ(k, kMax);
+    EXPECT_TRUE(values.insert(v).second) << "duplicated value " << v;
+  }
+  EXPECT_EQ(values.size(), 64u);
+  EXPECT_FALSE(handle.delete_min(k, v));
+}
+
+TEST(MultiQueueMaxKey, MaximalKeySortsAfterEverythingElse) {
+  constexpr K kMax = std::numeric_limits<K>::max();
+  MultiQueue<K, V> queue(1, 4, /*seed=*/5);
+  auto handle = queue.get_handle(0);
+  handle.insert(kMax, 1);
+  handle.insert(10, 2);
+  handle.insert(kMax - 1, 3);
+  std::vector<K> keys;
+  K k;
+  V v;
+  while (handle.delete_min(k, v)) keys.push_back(k);
+  ASSERT_EQ(keys.size(), 3u);
+  // Relaxed ordering across local queues, but nothing may vanish and the
+  // maximal key must still be present.
+  EXPECT_EQ(std::count(keys.begin(), keys.end(), kMax), 1);
+  EXPECT_EQ(std::count(keys.begin(), keys.end(), 10u), 1);
+}
+
 TYPED_TEST(QueueSequentialTest, ManyHandlesOneThreadStillCorrect) {
   // Handles may be created freely; using several from one thread must not
   // confuse per-thread state.

@@ -1,0 +1,401 @@
+// Unit tests for the PriorityService dispatch layer: delivery and ordering
+// under batching, admission control (reject and blocking backpressure),
+// deadline flushing, close()/drain() shutdown, per-shard counters, and the
+// open-loop service bench harness (including its CheckedQueue mode).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "platform/rng.hpp"
+#include "platform/thread_util.hpp"
+#include "queues/globallock.hpp"
+#include "queues/multiqueue.hpp"
+#include "service/priority_service.hpp"
+#include "service/service_bench.hpp"
+#include "validation/checked_queue.hpp"
+
+namespace cpq::service {
+namespace {
+
+using K = std::uint64_t;
+using V = std::uint64_t;
+using Lock = GlobalLockQueue<K, V>;
+
+std::unique_ptr<PriorityService<Lock>> make_lock_service(
+    unsigned threads, const ServiceConfig& cfg) {
+  return std::make_unique<PriorityService<Lock>>(
+      threads, cfg, [&](unsigned) { return std::make_unique<Lock>(threads); });
+}
+
+TEST(PriorityService, SingleShardUnbatchedIsStrictlyOrdered) {
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.insert_batch = 1;
+  cfg.delete_batch = 1;
+  auto service = make_lock_service(1, cfg);
+  auto handle = service->get_handle(0);
+  for (K key : {9u, 3u, 7u, 1u, 5u}) handle.insert(key, key * 10);
+  K key;
+  V value;
+  std::vector<K> popped;
+  while (handle.delete_min(key, value)) {
+    EXPECT_EQ(value, key * 10);
+    popped.push_back(key);
+  }
+  EXPECT_EQ(popped, (std::vector<K>{1, 3, 5, 7, 9}));
+}
+
+TEST(PriorityService, BufferedInsertsPublishOnBatchOrExplicitFlush) {
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.insert_batch = 4;
+  auto service = make_lock_service(2, cfg);
+  auto producer = service->get_handle(0);
+  auto consumer = service->get_handle(1);
+
+  producer.insert(1, 1);
+  producer.insert(2, 2);
+  EXPECT_EQ(producer.buffered_inserts(), 2u);
+  K key;
+  V value;
+  // Buffered tasks are invisible to other handles until a flush.
+  EXPECT_FALSE(consumer.delete_min(key, value));
+
+  producer.insert(3, 3);
+  producer.insert(4, 4);  // batch full: auto-flush
+  EXPECT_EQ(producer.buffered_inserts(), 0u);
+  EXPECT_TRUE(consumer.delete_min(key, value));
+  EXPECT_EQ(key, 1u);
+
+  producer.insert(5, 5);
+  producer.flush();
+  EXPECT_EQ(producer.buffered_inserts(), 0u);
+  std::size_t rest = 0;
+  while (consumer.delete_min(key, value)) ++rest;
+  EXPECT_EQ(rest, 4u);
+}
+
+TEST(PriorityService, DeadlineForcesFlushOfStaleBuffer) {
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.insert_batch = 64;
+  cfg.flush_deadline_us = 500;
+  auto service = make_lock_service(1, cfg);
+  auto handle = service->get_handle(0);
+  handle.insert(1, 1);
+  EXPECT_EQ(handle.buffered_inserts(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  handle.insert(2, 2);  // submit notices the expired deadline
+  EXPECT_EQ(handle.buffered_inserts(), 0u);
+  EXPECT_GE(service->stats().deadline_flushes, 1u);
+}
+
+TEST(PriorityService, RejectPolicyBoundsInFlightWork) {
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.insert_batch = 1;
+  cfg.delete_batch = 1;
+  cfg.max_in_flight = 2;
+  cfg.policy = AdmissionPolicy::kReject;
+  auto service = make_lock_service(1, cfg);
+  auto handle = service->get_handle(0);
+  EXPECT_TRUE(handle.try_submit(1, 1));
+  EXPECT_TRUE(handle.try_submit(2, 2));
+  EXPECT_FALSE(handle.try_submit(3, 3));  // bound hit
+  EXPECT_EQ(service->in_flight(), 2u);
+
+  K key;
+  V value;
+  ASSERT_TRUE(handle.delete_min(key, value));
+  EXPECT_TRUE(handle.try_submit(3, 3));  // slot released by the delivery
+  const ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.submitted, 3u);
+}
+
+TEST(PriorityService, CloseRejectsNewWorkButKeepsAcceptedDeliverable) {
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  auto service = make_lock_service(1, cfg);
+  auto handle = service->get_handle(0);
+  handle.insert(1, 10);
+  handle.insert(2, 20);
+  service->close();
+  EXPECT_TRUE(service->closed());
+  EXPECT_FALSE(handle.try_submit(3, 30));
+  K key;
+  V value;
+  EXPECT_TRUE(handle.delete_min(key, value));
+  EXPECT_TRUE(handle.delete_min(key, value));
+  EXPECT_FALSE(handle.delete_min(key, value));
+  EXPECT_EQ(service->stats().rejected, 1u);
+}
+
+// The acceptance-critical shutdown property: producers blocked on the
+// admission bound (backpressure), concurrent consumers, then close() +
+// handle teardown + drain() — every accepted task is delivered or drained,
+// none dropped, none duplicated (values are unique per task).
+TEST(PriorityService, BackpressureDrainShutdownDropsNoTask) {
+  constexpr unsigned kProducers = 2;
+  constexpr unsigned kConsumers = 2;
+  constexpr unsigned kThreads = kProducers + kConsumers;
+  constexpr std::uint64_t kPerProducer = 5000;
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.insert_batch = 4;
+  cfg.delete_batch = 4;
+  cfg.max_in_flight = 64;  // far below the offered total: submitters block
+  cfg.policy = AdmissionPolicy::kBlock;
+  auto service = make_lock_service(kThreads, cfg);
+
+  std::atomic<unsigned> producers_done{0};
+  std::vector<char> seen(kThreads * kPerProducer, 0);
+  std::atomic<std::uint64_t> delivered{0};
+  std::atomic<bool> duplicate{false};
+
+  auto mark = [&](V value) {
+    if (seen[value]) duplicate.store(true);
+    seen[value] = 1;
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  run_team(kThreads, [&](unsigned tid) {
+    if (tid < kProducers) {
+      {
+        auto handle = service->get_handle(tid);
+        for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+          handle.insert(i % 97, tid * kPerProducer + i);
+        }
+      }  // handle destruction flushes the insertion buffer
+      producers_done.fetch_add(1, std::memory_order_release);
+    } else {
+      auto handle = service->get_handle(tid);
+      K key;
+      V value;
+      unsigned misses = 0;
+      while (misses < 64) {
+        if (handle.delete_min(key, value)) {
+          mark(value);
+          misses = 0;
+        } else if (producers_done.load(std::memory_order_acquire) ==
+                   kProducers) {
+          ++misses;
+        }
+      }
+    }
+  });
+
+  service->close();
+  const std::size_t drained = service->drain([&](K, V value) { mark(value); });
+
+  EXPECT_FALSE(duplicate.load()) << "a task was delivered twice";
+  EXPECT_EQ(delivered.load(), kProducers * kPerProducer)
+      << "a task was dropped (drained " << drained << ")";
+  EXPECT_EQ(service->in_flight(), 0u);
+  const ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.submitted, kProducers * kPerProducer);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(PriorityService, CloseWakesBlockedSubmitters) {
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.insert_batch = 1;
+  cfg.max_in_flight = 1;
+  cfg.policy = AdmissionPolicy::kBlock;
+  auto service = make_lock_service(2, cfg);
+  auto warm = service->get_handle(0);
+  warm.insert(1, 1);  // takes the only slot
+
+  std::atomic<bool> returned{false};
+  std::thread blocked([&] {
+    auto handle = service->get_handle(1);
+    EXPECT_FALSE(handle.try_submit(2, 2));  // blocks until close()
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  service->close();
+  blocked.join();
+  EXPECT_TRUE(returned.load());
+  EXPECT_EQ(service->stats().rejected, 1u);
+}
+
+TEST(PriorityService, StatsAccountForEveryFlushedAndPoppedTask) {
+  ServiceConfig cfg;
+  cfg.shards = 4;
+  cfg.insert_batch = 8;
+  cfg.delete_batch = 8;
+  auto service = make_lock_service(1, cfg);
+  {
+    auto handle = service->get_handle(0);
+    Xoroshiro128 rng(7);
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      handle.insert(rng.next_below(1u << 20), i);
+    }
+    handle.flush();
+    K key;
+    V value;
+    for (int i = 0; i < 500; ++i) ASSERT_TRUE(handle.delete_min(key, value));
+  }  // destructor spills the prefetched remainder back into the shards
+
+  const ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.submitted, 1000u);
+  EXPECT_EQ(stats.delivered, 500u);
+  EXPECT_EQ(service->shard_count(), 4u);
+  ASSERT_EQ(stats.shards.size(), 4u);
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::size_t sized = 0;
+  for (const ShardStats& shard : stats.shards) {
+    enqueued += shard.enqueued;
+    dequeued += shard.dequeued;
+    sized += shard.approx_size;
+  }
+  // Every submitted task was flushed into some shard, plus the destructor
+  // spill re-enqueued what sat in the deletion buffer.
+  EXPECT_GE(enqueued, 1000u);
+  EXPECT_EQ(enqueued - dequeued, 500u);  // what is still stored
+  EXPECT_EQ(sized, 500u);
+  EXPECT_GE(stats.flushes, 1000u / 8);
+  EXPECT_GT(stats.mean_insert_fill, 1.0);
+  EXPECT_GT(stats.mean_delete_fill, 1.0);
+
+  std::size_t drained = 0;
+  service->drain([&](K, V) { ++drained; });
+  EXPECT_EQ(drained, 500u);
+}
+
+TEST(PriorityService, TwoChoiceRoutingSpreadsLoadAcrossShards) {
+  ServiceConfig cfg;
+  cfg.shards = 4;
+  cfg.insert_batch = 4;
+  auto service = make_lock_service(1, cfg);
+  auto handle = service->get_handle(0);
+  Xoroshiro128 rng(21);
+  for (std::uint64_t i = 0; i < 4000; ++i) {
+    handle.insert(rng.next_below(1u << 30), i);
+  }
+  handle.flush();
+  for (const ShardStats& shard : service->stats().shards) {
+    // Two-choice flushing keeps every shard within a small factor of the
+    // 1000-task fair share; a broken router starves at least one shard.
+    EXPECT_GT(shard.enqueued, 250u);
+  }
+}
+
+TEST(PriorityService, WrappedInCheckedQueueConservesTasks) {
+  constexpr unsigned kThreads = 4;
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.insert_batch = 4;
+  cfg.delete_batch = 4;
+  using Service = PriorityService<MultiQueue<K, V>>;
+  validation::CheckedQueue<Service> checked(
+      kThreads,
+      std::make_unique<Service>(kThreads, cfg, [&](unsigned shard) {
+        return std::make_unique<MultiQueue<K, V>>(kThreads, 4, shard + 1);
+      }));
+
+  run_team(kThreads, [&](unsigned tid) {
+    auto handle = checked.get_handle(tid);
+    Xoroshiro128 rng(thread_seed(0x5eed, tid));
+    for (std::uint64_t i = 0; i < 4000; ++i) {
+      if (rng.next_below(100) < 60) {
+        handle.insert(rng.next_below(1u << 12),
+                      (static_cast<V>(tid + 1) << 32) | i);
+      } else {
+        K key;
+        V value;
+        handle.delete_min(key, value);
+      }
+    }
+  });
+
+  const validation::ReconcileReport report = checked.reconcile();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(report.inserted, 0u);
+}
+
+// ---- the open-loop bench harness -----------------------------------------
+
+ServiceBenchConfig tiny_bench() {
+  ServiceBenchConfig cfg;
+  cfg.producers = 1;
+  cfg.consumers = 1;
+  cfg.duration_s = 0.02;
+  cfg.prefill = 500;
+  cfg.seed = 11;
+  cfg.pin_threads = false;
+  return cfg;
+}
+
+TEST(ServiceBench, RawAndServiceRunsDeliverTasks) {
+  auto factory = [](unsigned threads, std::uint64_t) {
+    return std::make_unique<Lock>(threads);
+  };
+  const ServiceBenchConfig cfg = tiny_bench();
+  const ServiceBenchResult raw = run_open_loop_raw(factory, cfg);
+  EXPECT_GT(raw.submitted, 0u);
+  EXPECT_GT(raw.delivered, 0u);
+  EXPECT_GT(raw.offered_per_s, 0.0);
+
+  const ServiceBenchResult service = run_open_loop_service(factory, cfg);
+  EXPECT_GT(service.submitted, 0u);
+  EXPECT_GT(service.delivered, 0u);
+  EXPECT_GE(service.stats.flushes, 1u);
+  // Shutdown accounting: everything accepted (prefill included — it goes
+  // through the same handle path) was delivered or recovered by the drain.
+  EXPECT_EQ(service.stats.submitted,
+            service.stats.delivered + service.drained);
+}
+
+TEST(ServiceBench, CheckedModeReportsConservation) {
+  auto factory = [](unsigned threads, std::uint64_t) {
+    return std::make_unique<Lock>(threads);
+  };
+  ServiceBenchConfig cfg = tiny_bench();
+  cfg.checked = true;
+  const ServiceBenchResult raw = run_open_loop_raw(factory, cfg);
+  EXPECT_TRUE(raw.conservation_ok) << raw.conservation_report;
+  const ServiceBenchResult service = run_open_loop_service(factory, cfg);
+  EXPECT_TRUE(service.conservation_ok) << service.conservation_report;
+  EXPECT_GT(service.delivered, 0u);
+}
+
+TEST(ServiceBench, PoissonArrivalsThrottleOfferedLoad) {
+  auto factory = [](unsigned threads, std::uint64_t) {
+    return std::make_unique<Lock>(threads);
+  };
+  ServiceBenchConfig cfg = tiny_bench();
+  cfg.duration_s = 0.05;
+  cfg.arrival_hz = 10000.0;  // ~500 arrivals in the window vs millions raw
+  cfg.measure_quality = false;
+  const ServiceBenchResult throttled = run_open_loop_service(factory, cfg);
+  EXPECT_GT(throttled.submitted, 0u);
+  // Open loop: the offered rate tracks the schedule, not the queue. Allow
+  // generous jitter for a 1-core container.
+  EXPECT_LT(throttled.offered_per_s, 10.0 * cfg.arrival_hz);
+}
+
+TEST(ServiceBench, QualityReplayScoresServiceRelaxation) {
+  auto factory = [](unsigned threads, std::uint64_t) {
+    return std::make_unique<Lock>(threads);
+  };
+  ServiceBenchConfig cfg = tiny_bench();
+  cfg.service.shards = 4;
+  cfg.service.insert_batch = 16;
+  cfg.service.delete_batch = 16;
+  const ServiceBenchResult result = run_open_loop_service(factory, cfg);
+  EXPECT_GT(result.deletions, 0u);
+  EXPECT_GE(result.median_rank_error, 0.0);
+  EXPECT_GE(result.max_rank_error, 0u);
+}
+
+}  // namespace
+}  // namespace cpq::service

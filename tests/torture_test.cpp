@@ -40,6 +40,7 @@
 #include "queues/sundell_tsigas.hpp"
 #include "seq/dary_heap.hpp"
 #include "seq/pairing_heap.hpp"
+#include "service/priority_service.hpp"
 #include "validation/checked_queue.hpp"
 #include "validation/fault_injection.hpp"
 #include "validation/watchdog.hpp"
@@ -197,6 +198,100 @@ TYPED_TEST(TortureTest, SplitProducersConsumersConserveItems) {
           consumed.fetch_add(1, std::memory_order_relaxed);
           misses = 0;
         } else {
+          ++misses;
+        }
+      }
+    }
+  });
+
+  const validation::ReconcileReport report = queue.reconcile();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.inserted, 2 * kPerProducer);
+}
+
+// ---- the PriorityService layer over every roster queue -------------------
+
+// The dispatch engine (sharding, insertion/deletion buffers, admission
+// control) must preserve exactly-once delivery on top of *any* shard queue,
+// with every queue-internal seam stretched by injection. The CheckedQueue
+// audit wraps the whole service, so a task lost in a buffer, dropped in a
+// flush, or double-delivered by a refill fails with the full report.
+template <typename Q>
+std::unique_ptr<service::PriorityService<Q>> make_service(
+    unsigned threads, const service::ServiceConfig& cfg) {
+  return std::make_unique<service::PriorityService<Q>>(
+      threads, cfg, [&](unsigned) { return make_queue<Q>(threads); });
+}
+
+template <typename Q>
+class ServiceTortureTest : public TortureTest<Q> {};
+
+TYPED_TEST_SUITE(ServiceTortureTest, QueueTypes);
+
+TYPED_TEST(ServiceTortureTest, DispatchConservesTasksUnderInjection) {
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kOpsPerThread = 4000;
+  service::ServiceConfig scfg;
+  scfg.shards = 2;
+  scfg.insert_batch = 4;
+  scfg.delete_batch = 4;
+  using Service = service::PriorityService<TypeParam>;
+  validation::CheckedQueue<Service> queue(
+      kThreads, make_service<TypeParam>(kThreads, scfg));
+
+  run_team(kThreads, [&](unsigned tid) {
+    auto handle = queue.get_handle(tid);
+    Xoroshiro128 rng(thread_seed(0x7043, tid));
+    std::uint64_t inserted = 0;
+    for (std::uint64_t op = 0; op < kOpsPerThread; ++op) {
+      if (rng.next_below(100) < 60) {
+        handle.insert(rng.next_below(1u << 10), value_of(tid, inserted++));
+      } else {
+        K k;
+        V v;
+        handle.delete_min(k, v);
+      }
+    }
+  });
+
+  const validation::ReconcileReport report = queue.reconcile();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(report.inserted, 0u);
+}
+
+// Shutdown under backpressure: a small in-flight bound keeps producers
+// blocked (the kBlock policy), consumers stop while work is still queued,
+// and the reconcile drain must still account for every accepted task.
+TYPED_TEST(ServiceTortureTest, BackpressureShutdownConservesTasks) {
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerProducer = 4000;
+  service::ServiceConfig scfg;
+  scfg.shards = 2;
+  scfg.insert_batch = 4;
+  scfg.delete_batch = 4;
+  scfg.max_in_flight = 64;
+  scfg.policy = service::AdmissionPolicy::kBlock;
+  using Service = service::PriorityService<TypeParam>;
+  validation::CheckedQueue<Service> queue(
+      kThreads, make_service<TypeParam>(kThreads, scfg));
+
+  std::atomic<unsigned> producers_done{0};
+  run_team(kThreads, [&](unsigned tid) {
+    auto handle = queue.get_handle(tid);
+    if (tid < 2) {
+      Xoroshiro128 rng(thread_seed(0x7044, tid));
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        handle.insert(rng.next_below(1u << 12), value_of(tid, i));
+      }
+      producers_done.fetch_add(1, std::memory_order_release);
+    } else {
+      K k;
+      V v;
+      unsigned misses = 0;
+      while (misses < 64) {
+        if (handle.delete_min(k, v)) {
+          misses = 0;
+        } else if (producers_done.load(std::memory_order_acquire) == 2) {
           ++misses;
         }
       }
