@@ -9,11 +9,50 @@
 #include <vector>
 
 #include "bench_framework/json_out.hpp"
+#include "bench_framework/latency.hpp"
 #include "bench_framework/options.hpp"
 #include "bench_framework/registry.hpp"
 #include "bench_framework/table.hpp"
+#include "obs/metrics.hpp"
 
 namespace cpq::bench {
+
+// --metrics: report per-cell metrics-registry counter deltas alongside the
+// measurement tables (one stdout line per cell plus counter_* JSON records).
+// Works in every build; without CPQ_METRICS_ENABLED the hooks are compiled
+// out and every counter reads zero.
+inline bool& metrics_report_enabled() {
+  static bool enabled = false;
+  return enabled;
+}
+
+// Zero the registry before a cell so the post-cell totals are that cell's
+// delta. Benchmark cells run their workers strictly between table cells, so
+// nothing is recording concurrently.
+inline void metrics_cell_begin() {
+  if (metrics_report_enabled()) obs::MetricsRegistry::global().reset();
+}
+
+inline void metrics_cell_report(const std::string& experiment,
+                                const std::string& queue, unsigned threads) {
+  if (!metrics_report_enabled()) return;
+  const auto totals = obs::MetricsRegistry::global().totals();
+  std::printf("# metrics %s t=%u:", queue.c_str(), threads);
+  for (unsigned c = 0; c < obs::kNumCounters; ++c) {
+    std::printf(" %s=%llu", obs::counter_name(c),
+                static_cast<unsigned long long>(totals[c]));
+    JsonSink::instance().record(
+        {experiment, queue, std::string("counter_") + obs::counter_name(c),
+         threads, static_cast<double>(totals[c]), 0.0, 1});
+  }
+  std::printf("\n");
+}
+
+// A failed cell (every repetition threw) renders as "failed" instead of a
+// zero that looks like a measurement; if every queue in a row failed the
+// row is dropped entirely. Each table returns false when any cell failed so
+// drivers can exit non-zero.
+inline constexpr const char* kFailedCell = "failed";
 
 inline std::vector<const QueueSpec*> roster_from_env() {
   const char* names = std::getenv("CPQ_QUEUES");
@@ -28,55 +67,95 @@ inline std::string config_title(const std::string& label,
 
 // Throughput sweep: MOps/s mean ± 95% CI per (threads, queue). Each cell is
 // additionally appended to the CPQ_JSON sink (bench_framework/json_out.hpp).
-inline void throughput_table(const std::string& label, BenchConfig cfg,
+// Returns false when any cell failed (see kFailedCell).
+inline bool throughput_table(const std::string& label, BenchConfig cfg,
                              const Options& options,
                              const std::vector<const QueueSpec*>& roster) {
   std::vector<std::string> columns;
   for (const QueueSpec* spec : roster) columns.push_back(spec->name);
   Table table(config_title(label, cfg) + " — throughput [MOps/s]", "threads",
               columns);
+  bool all_ok = true;
   for (unsigned threads : options.thread_ladder) {
     cfg.threads = threads;
     std::vector<std::string> cells;
+    unsigned ok_cells = 0;
     for (const QueueSpec* spec : roster) {
+      metrics_cell_begin();
       const ThroughputResult result = spec->throughput(cfg);
-      cells.push_back(Table::format_mean_ci(result.mops.mean,
-                                            result.mops.ci95));
+      const bool failed = result.failed();
+      if (failed) {
+        all_ok = false;
+        cells.emplace_back(kFailedCell);
+      } else {
+        ++ok_cells;
+        cells.push_back(Table::format_mean_ci(result.mops.mean,
+                                              result.mops.ci95));
+      }
       JsonSink::instance().record({config_title(label, cfg), spec->name,
                                    "throughput_mops", threads,
                                    result.mops.mean, result.mops.ci95,
                                    static_cast<unsigned>(
-                                       result.per_rep.size())});
+                                       result.per_rep.size()),
+                                   failed ? "failed" : "ok"});
+      metrics_cell_report(config_title(label, cfg), spec->name, threads);
+    }
+    if (ok_cells == 0) {
+      std::fprintf(stderr,
+                   "[cpq] %s: dropping thread row %u (every cell failed)\n",
+                   label.c_str(), threads);
+      continue;
     }
     table.add_row(std::to_string(threads), std::move(cells));
   }
   table.print();
+  return all_ok;
 }
 
 // Rank-error sweep: mean (stddev) per (threads, queue), as in the paper's
-// quality tables.
-inline void quality_table(const std::string& label, BenchConfig cfg,
+// quality tables. Returns false when any cell failed.
+inline bool quality_table(const std::string& label, BenchConfig cfg,
                           const Options& options,
                           const std::vector<const QueueSpec*>& roster) {
   std::vector<std::string> columns;
   for (const QueueSpec* spec : roster) columns.push_back(spec->name);
   Table table(config_title(label, cfg) + " — rank error mean (σ)", "threads",
               columns);
+  bool all_ok = true;
   for (unsigned threads : options.thread_ladder) {
     cfg.threads = threads;
     std::vector<std::string> cells;
+    unsigned ok_cells = 0;
     for (const QueueSpec* spec : roster) {
+      metrics_cell_begin();
       const QualityResult result = spec->quality(cfg);
-      cells.push_back(Table::format_mean_std(result.rank_error.mean,
-                                             result.rank_error.stddev));
+      const bool failed = result.failed();
+      if (failed) {
+        all_ok = false;
+        cells.emplace_back(kFailedCell);
+      } else {
+        ++ok_cells;
+        cells.push_back(Table::format_mean_std(result.rank_error.mean,
+                                               result.rank_error.stddev));
+      }
       JsonSink::instance().record({config_title(label, cfg), spec->name,
                                    "rank_error_mean", threads,
                                    result.rank_error.mean,
-                                   result.rank_error.ci95, cfg.repetitions});
+                                   result.rank_error.ci95,
+                                   result.completed_reps,
+                                   failed ? "failed" : "ok"});
+      metrics_cell_report(config_title(label, cfg), spec->name, threads);
+    }
+    if (ok_cells == 0) {
+      std::fprintf(stderr,
+                   "[cpq] %s: dropping thread row %u (every cell failed)\n",
+                   label.c_str(), threads);
+      continue;
     }
     table.add_row(std::to_string(threads), std::move(cells));
   }
   table.print();
+  return all_ok;
 }
 
 // Open-loop service sweep: every roster queue driven raw and through
@@ -95,6 +174,8 @@ inline bool service_table(const std::string& label,
                    "threads", columns);
   Table quality(label + " — completion rank error median raw -> service",
                 "threads", columns);
+  Table latency(label + " — delete_min latency [ns] p50/p99 raw -> service",
+                "threads", columns);
   bool conserved = true;
   for (unsigned threads : options.thread_ladder) {
     cfg.producers = (threads + 1) / 2;
@@ -103,7 +184,9 @@ inline bool service_table(const std::string& label,
     const unsigned total = cfg.producers + cfg.consumers;
     std::vector<std::string> tcells;
     std::vector<std::string> qcells;
+    std::vector<std::string> lcells;
     for (const QueueSpec* spec : roster) {
+      metrics_cell_begin();
       const ServiceComparison comparison = spec->service_bench(cfg);
       char buf[64];
       std::snprintf(buf, sizeof(buf), "%.0f -> %.0f",
@@ -114,6 +197,14 @@ inline bool service_table(const std::string& label,
                     comparison.raw.median_rank_error,
                     comparison.service.median_rank_error);
       qcells.emplace_back(buf);
+      const LatencyPercentiles raw_lat =
+          percentiles_of(comparison.raw.delete_ns);
+      const LatencyPercentiles svc_lat =
+          percentiles_of(comparison.service.delete_ns);
+      std::snprintf(buf, sizeof(buf), "%.0f/%.0f -> %.0f/%.0f",
+                    raw_lat.p50_ns, raw_lat.p99_ns, svc_lat.p50_ns,
+                    svc_lat.p99_ns);
+      lcells.emplace_back(buf);
       JsonSink::instance().record({label, spec->name, "raw_tasks_per_s",
                                    total, comparison.raw.delivered_per_s,
                                    0.0, 1});
@@ -124,6 +215,13 @@ inline bool service_table(const std::string& label,
                                    "service_rank_error_median", total,
                                    comparison.service.median_rank_error, 0.0,
                                    1});
+      JsonSink::instance().record({label, spec->name,
+                                   "service_delete_p50_ns", total,
+                                   svc_lat.p50_ns, 0.0, 1});
+      JsonSink::instance().record({label, spec->name,
+                                   "service_delete_p99_ns", total,
+                                   svc_lat.p99_ns, 0.0, 1});
+      metrics_cell_report(label, spec->name, total);
       if (cfg.checked) {
         for (const service::ServiceBenchResult* result :
              {&comparison.raw, &comparison.service}) {
@@ -139,9 +237,11 @@ inline bool service_table(const std::string& label,
     }
     throughput.add_row(std::to_string(total), std::move(tcells));
     quality.add_row(std::to_string(total), std::move(qcells));
+    latency.add_row(std::to_string(total), std::move(lcells));
   }
   throughput.print();
   quality.print();
+  latency.print();
   return conserved;
 }
 

@@ -19,17 +19,24 @@
 //                             0 = closed loop)
 //   --checked                 wrap service-mode queues in CheckedQueue
 //   --json[=path]             append JSON-lines records (default stdout)
+//   --metrics                 report metrics-registry counters per cell and
+//                             latency histograms (latency mode)
+//   --force-stall             deliberately trip the progress watchdog and
+//                             exit 86 (exercises the stall-dump path)
 //   --list                    print queues and benchmark modes, then exit
 //
 // Defaults reproduce a quick Fig.-1-style run. CPQ_* environment variables
 // seed the defaults, flags override. Unknown flags and malformed values
-// exit with status 2 before any measurement starts.
+// exit with status 2 before any measurement starts. A benchmark cell whose
+// repetitions all failed renders as "failed" and makes the process exit 1.
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -107,7 +114,8 @@ int usage(const char* argv0) {
                "          [--ms=N] [--ops=N] [--reps=N] [--seed=N]\n"
                "          [--mode=throughput|quality|latency|sort|service]\n"
                "          [--arrival-hz=N] [--checked] [--json[=path]] "
-               "[--list]\n",
+               "[--metrics]\n"
+               "          [--force-stall] [--list]\n",
                argv0);
   return 2;
 }
@@ -123,6 +131,41 @@ int list_registry() {
     std::printf("  %-12s %s\n", mode.name.c_str(), mode.description.c_str());
   }
   return 0;
+}
+
+// --force-stall: deliberately trip the progress watchdog so the whole
+// stall-dump path (progress snapshot + metrics counters + per-thread trace
+// rings) is exercised end to end against the real binary. Two fake workers
+// tick a handful of operations and record trace events, then freeze; the
+// watchdog fires after CPQ_WATCHDOG_S (default 0.5 s here) and _Exit()s
+// with the watchdog exit code (86). Calls the obs:: functions directly —
+// not the CPQ_COUNT/CPQ_TRACE_OP macros — so the dump has content even in
+// builds with the hot-path hooks compiled out (-DCPQ_METRICS=OFF).
+int force_stall() {
+  cpq::obs::MetricsRegistry::global().reset();
+  std::vector<cpq::validation::WorkerProgress> workers(2);
+  cpq::obs::count(cpq::obs::Counter::kCasRetry, 3);
+  cpq::obs::count(cpq::obs::Counter::kBackoffPause, 7);
+  for (unsigned tid = 0; tid < 2; ++tid) {
+    for (std::uint64_t op = 1; op <= 40; ++op) {
+      cpq::obs::trace(cpq::obs::TraceOp::kInsert, 1000 * (tid + 1) + op);
+      workers[tid].tick(op, cpq::validation::LastOp::kInsert);
+    }
+  }
+  const double deadline = cpq::validation::watchdog_deadline(-1.0, 0.5);
+  if (deadline <= 0.0) {
+    std::fprintf(stderr,
+                 "cpq_bench_cli: --force-stall needs CPQ_WATCHDOG_S > 0\n");
+    return 2;
+  }
+  cpq::validation::Watchdog dog("force-stall", workers.data(), workers.size(),
+                                deadline, metrics_diagnostics());
+  // Never tick again; the watchdog thread dumps and exits the process.
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(deadline * 20.0 + 10.0));
+  std::fprintf(stderr,
+               "cpq_bench_cli: --force-stall: watchdog never fired\n");
+  return 1;
 }
 
 }  // namespace
@@ -146,6 +189,13 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--checked") == 0) {
       checked = true;
       continue;
+    }
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_report_enabled() = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--force-stall") == 0) {
+      return force_stall();
     }
     if (std::strcmp(argv[i], "--json") == 0) {
       JsonSink::instance().set_path("-");
@@ -243,27 +293,65 @@ int main(int argc, char** argv) {
                      options);
 
   if (mode == "throughput") {
-    throughput_table("custom", cfg, options, roster);
+    if (!throughput_table("custom", cfg, options, roster)) return 1;
   } else if (mode == "quality") {
-    quality_table("custom", cfg, options, roster);
+    if (!quality_table("custom", cfg, options, roster)) return 1;
   } else if (mode == "latency") {
     std::vector<std::string> columns;
     for (const auto* spec : roster) columns.push_back(spec->name);
     Table table("custom — delete_min latency [ns] p50 / p99", "threads",
                 columns);
+    bool all_ok = true;
     for (unsigned threads : options.thread_ladder) {
       cfg.threads = threads;
       std::vector<std::string> cells;
+      unsigned ok_cells = 0;
       for (const auto* spec : roster) {
+        metrics_cell_begin();
         const LatencyResult result = spec->latency(cfg);
-        char buf[64];
-        std::snprintf(buf, sizeof(buf), "%.0f / %.0f",
-                      result.delete_min.p50_ns, result.delete_min.p99_ns);
-        cells.emplace_back(buf);
+        const bool failed = result.failed();
+        if (failed) {
+          all_ok = false;
+          cells.emplace_back(kFailedCell);
+        } else {
+          ++ok_cells;
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "%.0f / %.0f",
+                        result.delete_min.p50_ns, result.delete_min.p99_ns);
+          cells.emplace_back(buf);
+        }
+        const char* status = failed ? "failed" : "ok";
+        JsonSink::instance().record({"latency", spec->name,
+                                     "latency_delete_p50_ns", threads,
+                                     result.delete_min.p50_ns, 0.0,
+                                     result.completed_reps, status});
+        JsonSink::instance().record({"latency", spec->name,
+                                     "latency_delete_p99_ns", threads,
+                                     result.delete_min.p99_ns, 0.0,
+                                     result.completed_reps, status});
+        JsonSink::instance().record({"latency", spec->name,
+                                     "latency_insert_p99_ns", threads,
+                                     result.insert.p99_ns, 0.0,
+                                     result.completed_reps, status});
+        metrics_cell_report("latency", spec->name, threads);
+        if (metrics_report_enabled() && !failed) {
+          result.insert_ns.print(
+              stdout, (spec->name + " insert latency [ns]").c_str());
+          result.delete_ns.print(
+              stdout, (spec->name + " delete_min latency [ns]").c_str());
+        }
+      }
+      if (ok_cells == 0) {
+        std::fprintf(
+            stderr,
+            "[cpq] latency: dropping thread row %u (every cell failed)\n",
+            threads);
+        continue;
       }
       table.add_row(std::to_string(threads), std::move(cells));
     }
     table.print();
+    if (!all_ok) return 1;
   } else if (mode == "sort") {
     std::vector<std::string> columns;
     for (const auto* spec : roster) columns.push_back(spec->name);

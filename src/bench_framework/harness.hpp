@@ -31,6 +31,7 @@
 #include "bench_framework/keygen.hpp"
 #include "bench_framework/stats.hpp"
 #include "bench_framework/workload.hpp"
+#include "obs/metrics.hpp"
 #include "platform/cache.hpp"
 #include "platform/thread_util.hpp"
 #include "platform/timing.hpp"
@@ -61,6 +62,10 @@ struct BenchConfig {
 struct ThroughputResult {
   Summary mops;                    // million operations per second
   std::vector<double> per_rep;     // raw MOps/s per repetition
+  unsigned failed_reps = 0;        // repetitions that threw
+  // True when no repetition completed: the zeroed Summary is then a failure
+  // marker, not a measurement, and must not be reported as one.
+  bool failed() const { return per_rep.empty(); }
 };
 
 // One logged operation for the quality benchmark.
@@ -78,6 +83,9 @@ struct QualityResult {
   double median_rank_error = 0.0;
   std::uint64_t max_rank_error = 0;
   std::uint64_t deletions = 0;
+  unsigned completed_reps = 0;
+  unsigned failed_reps = 0;
+  bool failed() const { return completed_reps == 0; }
 };
 
 // Replay engine (implemented in quality_replay.cpp): merges per-thread logs
@@ -96,6 +104,14 @@ inline std::uint64_t item_id(unsigned thread_id, std::uint64_t counter) {
 constexpr unsigned kPrefillThread = 0xFFFFF;  // id-space slot for prefill
 
 }  // namespace detail
+
+// Watchdog diagnostics callback that appends the metrics registry state
+// (counter totals + per-thread sampled-operation rings) to a stall dump.
+// Always wired in: the dump itself is off the hot path, and when the
+// CPQ_COUNT/CPQ_TRACE_OP hooks are compiled out it simply prints zeros.
+inline validation::Watchdog::Diagnostics metrics_diagnostics() {
+  return [](std::FILE* out) { obs::MetricsRegistry::global().dump(out); };
+}
 
 // Prefill the queue with `cfg.prefill` items drawn from the configured key
 // distribution (single-threaded, before the measurement starts). When `logs`
@@ -127,7 +143,8 @@ double throughput_rep(Queue& queue, const BenchConfig& cfg,
   std::vector<validation::WorkerProgress> progress(cfg.threads);
   validation::Watchdog watchdog(
       cfg.label.empty() ? "throughput" : cfg.label, progress.data(),
-      cfg.threads, validation::watchdog_deadline(cfg.watchdog_s));
+      cfg.threads, validation::watchdog_deadline(cfg.watchdog_s),
+      metrics_diagnostics());
 
   std::vector<std::thread> team;
   team.reserve(cfg.threads);
@@ -143,15 +160,21 @@ double throughput_rep(Queue& queue, const BenchConfig& cfg,
       barrier.arrive_and_wait();
       while (!stop.load(std::memory_order_relaxed)) {
         if (chooser.next_is_insert()) {
-          handle.insert(gen.next(), detail::item_id(tid, insert_counter++));
+          const std::uint64_t key = gen.next();
+          handle.insert(key, detail::item_id(tid, insert_counter++));
           progress[tid].tick(++ops, validation::LastOp::kInsert);
+          CPQ_TRACE_OP(ops, ::cpq::obs::TraceOp::kInsert, key);
         } else {
-          std::uint64_t key;
+          std::uint64_t key = 0;
           std::uint64_t value;
           const bool hit = handle.delete_min(key, value);
           if (hit) gen.observe_deleted(key);
           progress[tid].tick(++ops, hit ? validation::LastOp::kDeleteHit
                                         : validation::LastOp::kDeleteEmpty);
+          CPQ_TRACE_OP(ops,
+                       hit ? ::cpq::obs::TraceOp::kDeleteHit
+                           : ::cpq::obs::TraceOp::kDeleteEmpty,
+                       key);
         }
       }
     });
@@ -188,6 +211,7 @@ ThroughputResult run_throughput(Factory&& make_queue, const BenchConfig& cfg) {
       prefill_queue(*queue, cfg, seed, nullptr);
       result.per_rep.push_back(throughput_rep(*queue, cfg, seed));
     } catch (const std::exception& e) {
+      ++result.failed_reps;
       std::fprintf(stderr,
                    "[cpq] %s: throughput repetition %u/%u failed: %s\n",
                    cfg.label.empty() ? "queue" : cfg.label.c_str(), rep + 1,
@@ -213,7 +237,8 @@ void quality_rep(Queue& queue, const BenchConfig& cfg, std::uint64_t seed,
   std::vector<validation::WorkerProgress> progress(cfg.threads);
   validation::Watchdog watchdog(
       cfg.label.empty() ? "quality" : cfg.label, progress.data(),
-      cfg.threads, validation::watchdog_deadline(cfg.watchdog_s));
+      cfg.threads, validation::watchdog_deadline(cfg.watchdog_s),
+      metrics_diagnostics());
 
   SpinBarrier barrier(cfg.threads);
   std::vector<std::thread> team;
@@ -267,7 +292,9 @@ QualityResult run_quality(Factory&& make_queue, const BenchConfig& cfg) {
       std::uint64_t max_err = 0;
       replay_rank_errors(logs, all_errors, max_err);
       if (max_err > result.max_rank_error) result.max_rank_error = max_err;
+      ++result.completed_reps;
     } catch (const std::exception& e) {
+      ++result.failed_reps;
       std::fprintf(stderr,
                    "[cpq] %s: quality repetition %u/%u failed: %s\n",
                    cfg.label.empty() ? "queue" : cfg.label.c_str(), rep + 1,

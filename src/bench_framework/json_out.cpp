@@ -126,6 +126,8 @@ std::string to_json_line(const JsonRecord& record) {
   append_double(out, record.ci95);
   out += ",\"reps\":";
   out += std::to_string(record.reps);
+  out += ",\"status\":";
+  append_escaped(out, record.status);
   out += '}';
   return out;
 }
@@ -135,6 +137,7 @@ bool parse_json_record(const std::string& line, JsonRecord& out) {
   Cursor cur{line.c_str()};
   if (!cur.consume('{')) return false;
   bool seen[7] = {};
+  bool seen_status = false;
   for (;;) {
     std::string key;
     if (!parse_string(cur, key)) return false;
@@ -164,6 +167,11 @@ bool parse_json_record(const std::string& line, JsonRecord& out) {
       if (seen[6] || !parse_number(cur, v) || v < 0) return false;
       out.reps = static_cast<unsigned>(v);
       seen[6] = true;
+    } else if (key == "status") {
+      // Optional (pre-status files omit it; JsonRecord defaults to "ok").
+      if (seen_status || !parse_string(cur, out.status)) return false;
+      if (out.status != "ok" && out.status != "failed") return false;
+      seen_status = true;
     } else {
       return false;  // schema drift: unknown key
     }

@@ -29,6 +29,11 @@ struct JsonRecord {
   double mean = 0.0;
   double ci95 = 0.0;
   unsigned reps = 0;
+  // "ok" or "failed". A failed cell (every repetition threw) zeroes mean
+  // and ci95; the explicit status keeps it distinguishable from a real
+  // measurement of 0. Always emitted; optional on parse (older files
+  // without the key read back as "ok").
+  std::string status = "ok";
 
   bool operator==(const JsonRecord&) const = default;
 };

@@ -96,6 +96,12 @@ class KeyGenerator {
   // Feedback for the hold model; harmless to call for other distributions.
   void observe_deleted(std::uint64_t key) { last_deleted_ = key; }
 
+  // Advance the per-thread operation counter without drawing from the RNG,
+  // as if `ops` keys had already been generated. Lets tests exercise the
+  // descending distribution's underflow clamp at kDescendingStart without
+  // iterating 2^42 times.
+  void skip(std::uint64_t ops) { op_counter_ += ops; }
+
   Xoroshiro128& rng() { return rng_; }
 
  private:

@@ -3,20 +3,25 @@
 // time (latency) for this number and mix of operations measured."
 //
 // Every thread executes a fixed number of operations and timestamps each
-// one individually (RDTSC, calibrated against the wall clock per
-// repetition). Per-operation latencies are split by operation type and
-// summarized as percentiles — throughput hides convoying and tail effects
-// (e.g. a GlobalLock queue can post decent throughput while its p99
-// explodes), which is precisely why the paper proposes the switch.
+// one individually (RDTSCP, calibrated against the wall clock per
+// repetition). Per-operation latencies are recorded into per-thread
+// log-linear histograms (src/obs/histogram.hpp) — O(1) memory per
+// operation, so the mode runs in bounded memory at any operation count —
+// and split by operation type. Percentiles summarize the merged
+// histograms: throughput hides convoying and tail effects (e.g. a
+// GlobalLock queue can post decent throughput while its p99 explodes),
+// which is precisely why the paper proposes the switch.
 #pragma once
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <thread>
 #include <vector>
 
 #include "bench_framework/harness.hpp"
+#include "obs/histogram.hpp"
 #include "platform/thread_util.hpp"
 #include "platform/timing.hpp"
 
@@ -33,90 +38,124 @@ struct LatencyPercentiles {
 struct LatencyResult {
   LatencyPercentiles insert;
   LatencyPercentiles delete_min;
+  // Merged over all threads and completed repetitions, in nanoseconds.
+  obs::LogHistogram insert_ns;
+  obs::LogHistogram delete_ns;
+  unsigned completed_reps = 0;
+  unsigned failed_reps = 0;
+  bool failed() const { return completed_reps == 0; }
 };
 
-// Destructive percentile extraction (nth_element reorders `samples_ns`).
+// Destructive percentile extraction (sorts `samples_ns` in place).
+//
+// Nearest-rank indexing: the q-quantile of n sorted samples is element
+// ceil(q*n) (1-based). The previous floor(q*(n-1)) indexing under-reported
+// the tail — with 10 samples "p99" read the 9th value instead of the max.
 inline LatencyPercentiles percentiles_of(std::vector<double>& samples_ns) {
   LatencyPercentiles result;
   result.samples = samples_ns.size();
   if (samples_ns.empty()) return result;
+  std::sort(samples_ns.begin(), samples_ns.end());
   auto at = [&](double q) {
-    const std::size_t index = static_cast<std::size_t>(
-        q * static_cast<double>(samples_ns.size() - 1));
-    std::nth_element(samples_ns.begin(), samples_ns.begin() + index,
-                     samples_ns.end());
+    const double rank = std::ceil(q * static_cast<double>(samples_ns.size()));
+    std::size_t index =
+        rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+    index = std::min(index, samples_ns.size() - 1);
     return samples_ns[index];
   };
   result.p50_ns = at(0.50);
   result.p90_ns = at(0.90);
   result.p99_ns = at(0.99);
-  result.max_ns = *std::max_element(samples_ns.begin(), samples_ns.end());
+  result.max_ns = samples_ns.back();
+  return result;
+}
+
+// Percentiles from a (nanosecond-domain) histogram; same nearest-rank
+// convention, quantized to the histogram's ~3% relative bucket width
+// (max is exact).
+inline LatencyPercentiles percentiles_of(const obs::LogHistogram& hist) {
+  LatencyPercentiles result;
+  result.samples = hist.count();
+  if (result.samples == 0) return result;
+  result.p50_ns = static_cast<double>(hist.quantile(0.50));
+  result.p90_ns = static_cast<double>(hist.quantile(0.90));
+  result.p99_ns = static_cast<double>(hist.quantile(0.99));
+  result.max_ns = static_cast<double>(hist.max_value());
   return result;
 }
 
 // Run `cfg.repetitions` latency repetitions; `cfg.ops_per_thread` operations
 // per thread per repetition, workload/key distribution as configured.
+// A failed repetition (bad_alloc, a queue-reported error) is reported and
+// skipped, mirroring run_throughput; callers check result.failed().
 template <typename Factory>
 LatencyResult run_latency(Factory&& make_queue, const BenchConfig& cfg) {
-  std::vector<double> insert_ns;
-  std::vector<double> delete_ns;
+  LatencyResult result;
 
   for (unsigned rep = 0; rep < cfg.repetitions; ++rep) {
     const std::uint64_t seed = cfg.seed + 31337ULL * rep;
-    auto queue = make_queue(cfg.threads, seed);
-    prefill_queue(*queue, cfg, seed, nullptr);
+    try {
+      auto queue = make_queue(cfg.threads, seed);
+      prefill_queue(*queue, cfg, seed, nullptr);
 
-    // Calibrate fast_timestamp ticks against wall time for this rep.
-    const std::uint64_t tsc0 = fast_timestamp();
-    Stopwatch calibration;
+      // Calibrate fast_timestamp ticks against wall time for this rep.
+      const std::uint64_t tsc0 = fast_timestamp();
+      Stopwatch calibration;
 
-    std::vector<std::vector<std::uint64_t>> ins(cfg.threads);
-    std::vector<std::vector<std::uint64_t>> del(cfg.threads);
-    SpinBarrier barrier(cfg.threads);
-    run_team(cfg.threads, [&](unsigned tid) {
-      auto handle = queue->get_handle(tid);
-      KeyGenerator gen(cfg.keys, seed, tid);
-      OpChooser chooser(cfg.workload, tid, cfg.threads, seed,
-                        cfg.insert_fraction, cfg.batch_size);
-      auto& my_ins = ins[tid];
-      auto& my_del = del[tid];
-      my_ins.reserve(cfg.ops_per_thread);
-      my_del.reserve(cfg.ops_per_thread);
-      std::uint64_t counter = 0;
-      barrier.arrive_and_wait();
-      for (std::uint64_t op = 0; op < cfg.ops_per_thread; ++op) {
-        if (chooser.next_is_insert()) {
-          const std::uint64_t key = gen.next();
-          const std::uint64_t start = fast_timestamp();
-          handle.insert(key, detail::item_id(tid, counter++));
-          my_ins.push_back(fast_timestamp() - start);
-        } else {
-          std::uint64_t key;
-          std::uint64_t value;
-          const std::uint64_t start = fast_timestamp();
-          const bool ok = handle.delete_min(key, value);
-          my_del.push_back(fast_timestamp() - start);
-          if (ok) gen.observe_deleted(key);
+      // Tick-domain recordings, one histogram pair per thread (single
+      // writer); scaled into the nanosecond accumulators after the join.
+      std::vector<obs::LogHistogram> ins(cfg.threads);
+      std::vector<obs::LogHistogram> del(cfg.threads);
+      SpinBarrier barrier(cfg.threads);
+      run_team(cfg.threads, [&](unsigned tid) {
+        auto handle = queue->get_handle(tid);
+        KeyGenerator gen(cfg.keys, seed, tid);
+        OpChooser chooser(cfg.workload, tid, cfg.threads, seed,
+                          cfg.insert_fraction, cfg.batch_size);
+        auto& my_ins = ins[tid];
+        auto& my_del = del[tid];
+        std::uint64_t counter = 0;
+        barrier.arrive_and_wait();
+        for (std::uint64_t op = 0; op < cfg.ops_per_thread; ++op) {
+          if (chooser.next_is_insert()) {
+            const std::uint64_t key = gen.next();
+            const std::uint64_t start = fast_timestamp();
+            handle.insert(key, detail::item_id(tid, counter++));
+            my_ins.record(fast_timestamp() - start);
+          } else {
+            std::uint64_t key;
+            std::uint64_t value;
+            const std::uint64_t start = fast_timestamp();
+            const bool ok = handle.delete_min(key, value);
+            my_del.record(fast_timestamp() - start);
+            if (ok) gen.observe_deleted(key);
+          }
         }
-      }
-    }, cfg.pin_threads);
+      }, cfg.pin_threads);
 
-    const double ns_per_tick =
-        static_cast<double>(calibration.elapsed_ns()) /
-        static_cast<double>(fast_timestamp() - tsc0);
-    for (unsigned tid = 0; tid < cfg.threads; ++tid) {
-      for (std::uint64_t ticks : ins[tid]) {
-        insert_ns.push_back(static_cast<double>(ticks) * ns_per_tick);
+      const double ns_per_tick =
+          static_cast<double>(calibration.elapsed_ns()) /
+          static_cast<double>(fast_timestamp() - tsc0);
+      for (unsigned tid = 0; tid < cfg.threads; ++tid) {
+        result.insert_ns.add_scaled(ins[tid], ns_per_tick);
+        result.delete_ns.add_scaled(del[tid], ns_per_tick);
       }
-      for (std::uint64_t ticks : del[tid]) {
-        delete_ns.push_back(static_cast<double>(ticks) * ns_per_tick);
-      }
+      ++result.completed_reps;
+    } catch (const std::exception& e) {
+      ++result.failed_reps;
+      std::fprintf(stderr,
+                   "[cpq] %s: latency repetition %u/%u failed: %s\n",
+                   cfg.label.empty() ? "queue" : cfg.label.c_str(), rep + 1,
+                   cfg.repetitions, e.what());
     }
   }
+  if (result.failed() && cfg.repetitions > 0) {
+    std::fprintf(stderr, "[cpq] %s: every latency repetition failed\n",
+                 cfg.label.empty() ? "queue" : cfg.label.c_str());
+  }
 
-  LatencyResult result;
-  result.insert = percentiles_of(insert_ns);
-  result.delete_min = percentiles_of(delete_ns);
+  result.insert = percentiles_of(result.insert_ns);
+  result.delete_min = percentiles_of(result.delete_ns);
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "platform/backoff.hpp"
 #include "validation/fault_injection.hpp"
 
@@ -172,6 +173,7 @@ void EbrDomain::retire(void* ptr, void (*deleter)(void*)) {
   const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
   // Fault injection: delay filing into limbo while other threads advance.
   CPQ_INJECT("ebr.retire");
+  CPQ_COUNT(kEbrRetire);
   p->limbo[e % 3].push_back(RetiredNode{ptr, deleter});
   retired_count_.fetch_add(1, std::memory_order_relaxed);
   if (++p->retires_since_advance >= kRetireInterval) {
@@ -199,6 +201,7 @@ void EbrDomain::try_advance() {
     CPQ_INJECT("ebr.advance");
     if (global_epoch_.compare_exchange_strong(current, e + 1,
                                               std::memory_order_acq_rel)) {
+      CPQ_COUNT(kEbrAdvance);
       current = e + 1;
       // The advancing thread also drains the now-safe orphan generation.
       std::vector<RetiredNode> adopted;
@@ -237,6 +240,7 @@ void EbrDomain::free_generation(std::vector<RetiredNode>& generation) {
   for (const RetiredNode& node : generation) {
     node.deleter(node.ptr);
   }
+  CPQ_COUNT_N(kEbrFree, generation.size());
   freed_count_.fetch_add(generation.size(), std::memory_order_relaxed);
   retired_count_.fetch_sub(generation.size(), std::memory_order_relaxed);
   generation.clear();

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "platform/cache.hpp"
 
 namespace cpq::mm {
@@ -99,6 +100,7 @@ class HazardDomain {
     // Retire through the owning record (per-slot retire lists avoid any
     // shared mutable state on the retire path).
     void retire(T* ptr, void (*deleter)(void*) = &default_deleter) {
+      CPQ_COUNT(kHazardRetire);
       auto& record = domain_->records_[index_];
       record.retired.push_back({ptr, deleter});
       if (record.retired.size() >= kScanThreshold) domain_->scan(record);
@@ -169,6 +171,7 @@ class HazardDomain {
 
   // Free every retired node not covered by a published hazard.
   void scan(Record& record) {
+    CPQ_COUNT(kHazardScan);
     std::vector<T*> hazards;
     hazards.reserve(kMaxSlots);
     for (const auto& other : records_) {

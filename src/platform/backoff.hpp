@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "obs/metrics.hpp"
 #include "platform/rng.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -38,6 +39,9 @@ class Backoff {
   // Spin for a randomized count below the current limit, then double the
   // limit (truncated at max).
   void pause() noexcept {
+    // Only ever reached from a contended retry loop, so the counter hook
+    // cannot slow an uncontended fast path.
+    CPQ_COUNT(kBackoffPause);
     const std::uint64_t spins = rng_.next_below(limit_) + 1;
     for (std::uint64_t i = 0; i < spins; ++i) cpu_relax();
     if (limit_ < max_) limit_ *= 2;

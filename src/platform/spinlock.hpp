@@ -10,6 +10,7 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "platform/backoff.hpp"
 #include "platform/cache.hpp"
 #include "validation/fault_injection.hpp"
@@ -49,6 +50,8 @@ class Spinlock {
         CPQ_INJECT("spinlock.acquired");
         return;
       }
+      // Contended path only: the uncontended acquire above stays hook-free.
+      CPQ_COUNT(kLockRetry);
       do {
         // After sustained spinning, yield so a preempted lock holder can
         // run (essential when benchmark threads outnumber cores).

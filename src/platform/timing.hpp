@@ -17,11 +17,28 @@
 
 namespace cpq {
 
-// Fast monotonic timestamp in unspecified units (TSC ticks or nanoseconds).
-// Only comparisons between timestamps from the same run are meaningful.
+// Fast monotonic timestamp in unspecified units. Only comparisons between
+// timestamps from the same run are meaningful.
+//
+// On x86-64 this is RDTSCP (TSC ticks): unlike plain RDTSC, RDTSCP waits
+// for all earlier instructions to retire before reading the counter, so a
+// timestamp taken after a queue operation cannot be hoisted above it (the
+// quality replay orders operations by these stamps; an unfenced read can
+// reorder around the bracketed operation and corrupt that order). The
+// serialization is one-sided — later instructions may still start early —
+// which is the standard timestamp/lightweight-fence trade-off and is
+// sufficient for a total order consistent with real time at microsecond
+// granularity.
+//
+// Elsewhere the fallback is std::chrono::steady_clock, whose period is
+// nanoseconds on every platform we target (libstdc++/libc++ define
+// steady_clock::period as std::nano); the harnesses still calibrate ticks
+// against a wall-clock Stopwatch per repetition, so only monotonicity is
+// assumed, not the unit.
 inline std::uint64_t fast_timestamp() noexcept {
 #if defined(__x86_64__)
-  return __rdtsc();
+  unsigned aux;
+  return __rdtscp(&aux);
 #else
   return static_cast<std::uint64_t>(
       std::chrono::steady_clock::now().time_since_epoch().count());

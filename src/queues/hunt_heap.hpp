@@ -29,6 +29,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "platform/backoff.hpp"
 #include "platform/cache.hpp"
 #include "platform/spinlock.hpp"
@@ -207,6 +208,7 @@ class HuntHeap {
           n.lock.unlock();
           p.lock.unlock();
           CPQ_INJECT("hunt.sift_retry");
+          CPQ_COUNT(kCasRetry);
           if (++stalled_rounds < 16) {
             backoff.pause();
           } else {

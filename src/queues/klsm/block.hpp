@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "platform/cache.hpp"
 #include "validation/fault_injection.hpp"
 
@@ -90,7 +91,9 @@ class Block {
     // Fault injection: widen the peek-to-claim window, the seam where a
     // racing claimant must lose exactly one of the two exchanges.
     CPQ_INJECT("block.claim");
-    return !slots_[i].taken.exchange(true, std::memory_order_acq_rel);
+    const bool won = !slots_[i].taken.exchange(true, std::memory_order_acq_rel);
+    if (!won) CPQ_COUNT(kCasRetry);
+    return won;
   }
 
   // Index of the first slot with key > threshold (binary search over all

@@ -20,6 +20,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "platform/cache.hpp"
 #include "platform/rng.hpp"
 #include "platform/spinlock.hpp"
@@ -56,7 +57,10 @@ class MultiQueue {
         LocalQueue& q = queues[rng_.next_below(queues.size())].value;
         // try_lock keeps inserters from convoying on a hot queue; a failed
         // attempt simply redraws.
-        if (!q.lock.try_lock()) continue;
+        if (!q.lock.try_lock()) {
+          CPQ_COUNT(kLockRetry);
+          continue;
+        }
         q.pq.insert(key, value);
         q.refresh_min();
         q.lock.unlock();
@@ -91,7 +95,10 @@ class MultiQueue {
           if (!found) continue;
         }
         LocalQueue& q = queues[pick].value;
-        if (!q.lock.try_lock()) continue;
+        if (!q.lock.try_lock()) {
+          CPQ_COUNT(kLockRetry);
+          continue;
+        }
         const bool ok = q.pq.delete_min(key_out, value_out);
         q.refresh_min();
         q.lock.unlock();

@@ -32,6 +32,7 @@
 #include <limits>
 #include <new>
 
+#include "obs/metrics.hpp"
 #include "platform/cache.hpp"
 #include "platform/rng.hpp"
 
@@ -237,6 +238,7 @@ class SkiplistBase {
         break;
       }
       // Lost the race; re-search and retry.
+      CPQ_COUNT(kCasRetry);
     }
     // Link the upper levels (best effort: a failed level is re-searched a
     // bounded number of times, then abandoned — the node just stays

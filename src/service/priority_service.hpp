@@ -52,6 +52,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "platform/backoff.hpp"
 #include "platform/cache.hpp"
 #include "platform/rng.hpp"
@@ -196,6 +197,7 @@ class PriorityService {
 
     bool submit(key_type key, value_type value, bool block) {
       if (!service_->acquire_slot(block)) {
+        CPQ_COUNT(kServiceReject);
         service_->rejected_.fetch_add(1, std::memory_order_relaxed);
         return false;
       }
@@ -231,9 +233,11 @@ class PriorityService {
       for (const auto& [key, value] : ibuf_) {
         shard.push(inner_[a], key, value);
       }
+      CPQ_COUNT(kServiceFlush);
       shard.flushes.fetch_add(1, std::memory_order_relaxed);
       shard.flush_fill.fetch_add(ibuf_.size(), std::memory_order_relaxed);
       if (deadline) {
+        CPQ_COUNT(kServiceDeadlineFlush);
         service_->deadline_flushes_.fetch_add(1, std::memory_order_relaxed);
       }
       ibuf_.clear();
@@ -284,9 +288,14 @@ class PriorityService {
       }
       shard.note_popped(got, dbuf_.back().first,
                         got < config().delete_batch);
+      if (steal) {
+        CPQ_COUNT(kServiceSteal);
+        shard.steals.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        CPQ_COUNT(kServiceRefill);
+      }
       shard.refills.fetch_add(1, std::memory_order_relaxed);
       shard.refill_fill.fetch_add(got, std::memory_order_relaxed);
-      if (steal) shard.steals.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
 

@@ -35,6 +35,8 @@
 
 #include "bench_framework/harness.hpp"
 #include "bench_framework/keygen.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
 #include "platform/backoff.hpp"
 #include "platform/cache.hpp"
 #include "platform/rng.hpp"
@@ -60,6 +62,9 @@ struct ServiceBenchConfig {
   // (combine with a CPQ_FAULT_INJECTION build for torture coverage).
   bool checked = false;
   bool measure_quality = true;
+  // Record per-delivery delete_min latency into a log-linear histogram
+  // (two RDTSCP reads per successful pop on the consumer side).
+  bool measure_latency = true;
   std::uint64_t seed = 42;
   bool pin_threads = true;
   double watchdog_s = -1.0;
@@ -75,6 +80,10 @@ struct ServiceBenchResult {
   double median_rank_error = 0.0;
   std::uint64_t max_rank_error = 0;
   std::uint64_t deletions = 0;  // deliveries scored by the replay
+  // Consumer-side delete_min latency over successful pops, nanoseconds
+  // (empty polls are excluded: at low arrival rates they would drown the
+  // delivery latencies the table reports). Filled when cfg.measure_latency.
+  obs::LogHistogram delete_ns;
   ServiceStats stats;           // zeroed for raw-queue runs
   bool conservation_ok = true;  // meaningful when cfg.checked
   std::string conservation_report;
@@ -109,10 +118,20 @@ void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
   }
 
   std::vector<validation::WorkerProgress> progress(threads);
+  // Chain the engine-specific diagnostics (shard stats for service runs)
+  // with the metrics registry dump so a stall report carries both.
   validation::Watchdog watchdog(
       cfg.label.empty() ? "service-bench" : cfg.label, progress.data(),
       threads, validation::watchdog_deadline(cfg.watchdog_s),
-      std::move(diagnostics));
+      [inner = std::move(diagnostics)](std::FILE* out) {
+        if (inner) inner(out);
+        obs::MetricsRegistry::global().dump(out);
+      });
+
+  // Calibrate fast_timestamp ticks against wall time for this run.
+  const std::uint64_t tsc0 = fast_timestamp();
+  Stopwatch calibration;
+  std::vector<obs::LogHistogram> delete_ticks(threads);
 
   std::vector<CacheAligned<std::uint64_t>> submitted(threads);
   std::vector<CacheAligned<std::uint64_t>> delivered(threads);
@@ -152,14 +171,24 @@ void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
           ++submitted[tid].value;
           progress[tid].tick(submitted[tid].value,
                              validation::LastOp::kInsert);
+          CPQ_TRACE_OP(submitted[tid].value, ::cpq::obs::TraceOp::kInsert,
+                       key);
         }
       } else {
+        auto& my_ticks = delete_ticks[tid];
         std::uint64_t ops = 0;
         barrier.arrive_and_wait();
         while (!stop.load(std::memory_order_relaxed)) {
-          std::uint64_t key;
+          std::uint64_t key = 0;
           std::uint64_t id;
-          const bool hit = handle.delete_min(key, id);
+          bool hit;
+          if (cfg.measure_latency) {
+            const std::uint64_t start = fast_timestamp();
+            hit = handle.delete_min(key, id);
+            if (hit) my_ticks.record(fast_timestamp() - start);
+          } else {
+            hit = handle.delete_min(key, id);
+          }
           if (hit) {
             if (cfg.measure_quality) {
               log.push_back({fast_timestamp(), key, id, false});
@@ -170,6 +199,10 @@ void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
           }
           progress[tid].tick(++ops, hit ? validation::LastOp::kDeleteHit
                                         : validation::LastOp::kDeleteEmpty);
+          CPQ_TRACE_OP(ops,
+                       hit ? ::cpq::obs::TraceOp::kDeleteHit
+                           : ::cpq::obs::TraceOp::kDeleteEmpty,
+                       key);
         }
       }
     });
@@ -186,6 +219,14 @@ void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
   for (unsigned tid = 0; tid < threads; ++tid) {
     result.submitted += submitted[tid].value;
     result.delivered += delivered[tid].value;
+  }
+  if (cfg.measure_latency) {
+    const double ns_per_tick =
+        static_cast<double>(calibration.elapsed_ns()) /
+        static_cast<double>(fast_timestamp() - tsc0);
+    for (unsigned tid = cfg.producers; tid < threads; ++tid) {
+      result.delete_ns.add_scaled(delete_ticks[tid], ns_per_tick);
+    }
   }
   result.offered_per_s = static_cast<double>(result.submitted) / elapsed;
   result.delivered_per_s = static_cast<double>(result.delivered) / elapsed;

@@ -36,6 +36,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "platform/backoff.hpp"
@@ -43,9 +45,24 @@
 
 namespace cpq::validation {
 
+// What a firing hook does. kDelay (the default) stretches the race window;
+// kThrow raises InjectedFault instead, simulating a hard failure (bad_alloc
+// standing in for any queue-reported error) so the harnesses' per-repetition
+// failure paths can be regression-tested deterministically. kThrow is a
+// test-only mode: it must only be enabled around code that is exception-safe
+// at the injected sites (e.g. single-threaded prefill through a throwing
+// test queue), never under noexcept worker loops.
+enum class FaultAction : std::uint8_t { kDelay = 0, kThrow = 1 };
+
+struct InjectedFault : std::runtime_error {
+  explicit InjectedFault(const char* site)
+      : std::runtime_error(std::string("injected fault at ") + site) {}
+};
+
 struct InjectionState {
   std::atomic<std::uint32_t> ppm{0};
   std::atomic<std::uint64_t> seed{42};
+  std::atomic<std::uint8_t> action{0};  // FaultAction
   // Bumped by configure(); threads reseed their stream on the next crossing.
   std::atomic<std::uint64_t> generation{1};
   std::atomic<std::uint64_t> fired{0};
@@ -71,9 +88,13 @@ inline InjectionState& injection_state() {
 
 // Override the environment configuration (tests). ppm = firings per million
 // hook crossings; 0 disables.
-inline void fault_injection_configure(std::uint32_t ppm, std::uint64_t seed) {
+inline void fault_injection_configure(std::uint32_t ppm, std::uint64_t seed,
+                                      FaultAction action =
+                                          FaultAction::kDelay) {
   InjectionState& state = injection_state();
   state.seed.store(seed, std::memory_order_relaxed);
+  state.action.store(static_cast<std::uint8_t>(action),
+                     std::memory_order_relaxed);
   state.ppm.store(ppm, std::memory_order_relaxed);
   state.generation.fetch_add(1, std::memory_order_acq_rel);
 }
@@ -137,6 +158,10 @@ inline void inject_point(const char* site) {
   }
   if (stream.rng.next_below(1'000'000) >= ppm) return;
   state.fired.fetch_add(1, std::memory_order_relaxed);
+  if (state.action.load(std::memory_order_relaxed) ==
+      static_cast<std::uint8_t>(FaultAction::kThrow)) {
+    throw InjectedFault(site);
+  }
   switch (stream.rng.next_below(3)) {
     case 0:
       std::this_thread::yield();

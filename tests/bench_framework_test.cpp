@@ -13,6 +13,7 @@
 #include "bench_framework/harness.hpp"
 #include "bench_framework/json_out.hpp"
 #include "bench_framework/keygen.hpp"
+#include "bench_framework/latency.hpp"
 #include "bench_framework/options.hpp"
 #include "bench_framework/stats.hpp"
 #include "bench_framework/table.hpp"
@@ -113,6 +114,77 @@ TEST(JsonOut, SinkAppendsParsableLinesToFile) {
   EXPECT_EQ(parsed[1], b);
 }
 
+TEST(JsonOut, StatusFieldRoundTripsAndValidates) {
+  const JsonRecord record{"fig1", "mq", "throughput_mops",
+                          2,      0.0,  0.0,
+                          0,      "failed"};
+  JsonRecord parsed;
+  ASSERT_TRUE(parse_json_record(to_json_line(record), parsed));
+  EXPECT_EQ(parsed.status, "failed");
+  EXPECT_EQ(parsed, record);
+  // Pre-status files omit the key; it reads back as "ok".
+  ASSERT_TRUE(parse_json_record(
+      R"({"experiment":"e","threads":1,"queue":"q","metric":"m","mean":1,"ci95":0,"reps":1})",
+      parsed));
+  EXPECT_EQ(parsed.status, "ok");
+  // Unknown values and duplicates are schema drift.
+  EXPECT_FALSE(parse_json_record(
+      R"({"experiment":"e","threads":1,"queue":"q","metric":"m","mean":1,"ci95":0,"reps":1,"status":"maybe"})",
+      parsed));
+  EXPECT_FALSE(parse_json_record(
+      R"({"experiment":"e","threads":1,"queue":"q","metric":"m","mean":1,"ci95":0,"reps":1,"status":"ok","status":"ok"})",
+      parsed));
+}
+
+// ---- latency percentiles -------------------------------------------------
+
+TEST(Percentiles, NearestRankExactValues) {
+  std::vector<double> hundred;
+  for (int i = 1; i <= 100; ++i) hundred.push_back(i);
+  const LatencyPercentiles p = percentiles_of(hundred);
+  EXPECT_EQ(p.samples, 100u);
+  EXPECT_DOUBLE_EQ(p.p50_ns, 50.0);
+  EXPECT_DOUBLE_EQ(p.p90_ns, 90.0);
+  EXPECT_DOUBLE_EQ(p.p99_ns, 99.0);
+  EXPECT_DOUBLE_EQ(p.max_ns, 100.0);
+}
+
+TEST(Percentiles, SmallSampleTailIsNotUnderReported) {
+  // Regression: the old floor(q*(n-1)) indexing made "p99" of 10 samples
+  // read the 9th value; nearest-rank ceil(q*n) reads the maximum.
+  std::vector<double> ten = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const LatencyPercentiles p = percentiles_of(ten);
+  EXPECT_DOUBLE_EQ(p.p50_ns, 5.0);
+  EXPECT_DOUBLE_EQ(p.p90_ns, 9.0);
+  EXPECT_DOUBLE_EQ(p.p99_ns, 10.0);
+  EXPECT_DOUBLE_EQ(p.max_ns, 10.0);
+
+  std::vector<double> one = {7.0};
+  const LatencyPercentiles single = percentiles_of(one);
+  EXPECT_DOUBLE_EQ(single.p50_ns, 7.0);
+  EXPECT_DOUBLE_EQ(single.p99_ns, 7.0);
+
+  std::vector<double> none;
+  EXPECT_EQ(percentiles_of(none).samples, 0u);
+}
+
+TEST(Percentiles, HistogramOverloadMatchesVectorWithinBucketError) {
+  obs::LogHistogram hist;
+  std::vector<double> values;
+  for (int i = 1; i <= 1000; ++i) {
+    hist.record(static_cast<std::uint64_t>(i));
+    values.push_back(i);
+  }
+  const LatencyPercentiles hv = percentiles_of(hist);
+  const LatencyPercentiles vv = percentiles_of(values);
+  EXPECT_EQ(hv.samples, vv.samples);
+  EXPECT_NEAR(hv.p50_ns, vv.p50_ns,
+              vv.p50_ns / obs::LogHistogram::kSubBuckets + 1.0);
+  EXPECT_NEAR(hv.p99_ns, vv.p99_ns,
+              vv.p99_ns / obs::LogHistogram::kSubBuckets + 1.0);
+  EXPECT_DOUBLE_EQ(hv.max_ns, vv.max_ns);  // max is exact, not quantized
+}
+
 // ---- key generators --------------------------------------------------
 
 TEST(KeyGen, UniformStaysInRange) {
@@ -183,6 +255,35 @@ TEST(KeyGen, DeterministicPerThreadStream) {
     EXPECT_EQ(ka, b.next());
     differs |= (ka != c.next());
   }
+  EXPECT_TRUE(differs);
+}
+
+TEST(KeyGen, DescendingClampsInsteadOfUnderflowing) {
+  // skip() fast-forwards the operation counter to just below the clamp
+  // point; without the `shift < kDescendingStart` guard the next draws
+  // would wrap around 2^64 and emit near-maximal keys.
+  KeyGenerator gen(KeyConfig::descending(4), 1, 0);
+  gen.skip(KeyGenerator::kDescendingStart - 2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LE(gen.next(), KeyGenerator::kDescendingStart + 16);
+  }
+  // Deep past the clamp: only the random base component remains.
+  gen.skip(1'000'000);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(gen.next(), 16u);
+}
+
+TEST(KeyGen, HoldStartsAtZeroUntilFirstDeletion) {
+  KeyGenerator gen(KeyConfig::hold(4), 1, 0);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(gen.next(), 16u);
+  gen.observe_deleted(100);
+  EXPECT_GE(gen.next(), 100u);
+}
+
+TEST(KeyGen, DifferentSeedsGiveIndependentStreams) {
+  KeyGenerator a(KeyConfig::uniform(32), 42, 3);
+  KeyGenerator b(KeyConfig::uniform(32), 43, 3);
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) differs |= (a.next() != b.next());
   EXPECT_TRUE(differs);
 }
 

@@ -20,20 +20,35 @@ namespace {
 
 // Run the real cpq_bench_cli binary (path injected by CMake) with the given
 // arguments; returns its exit status and captures stdout.
-int run_cli(const std::string& args, std::string& stdout_text) {
-  const std::string cmd =
-      std::string(CPQ_BENCH_CLI_PATH) + " " + args + " 2>/dev/null";
+int run_cli_command(const std::string& cmd, std::string& output) {
   std::FILE* pipe = popen(cmd.c_str(), "r");
   if (pipe == nullptr) return -1;
-  stdout_text.clear();
+  output.clear();
   char buf[4096];
   std::size_t got;
   while ((got = std::fread(buf, 1, sizeof(buf), pipe)) > 0) {
-    stdout_text.append(buf, got);
+    output.append(buf, got);
   }
   const int status = pclose(pipe);
   if (status == -1) return -1;
   return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+int run_cli(const std::string& args, std::string& stdout_text) {
+  return run_cli_command(
+      std::string(CPQ_BENCH_CLI_PATH) + " " + args + " 2>/dev/null",
+      stdout_text);
+}
+
+// Variant with stderr merged into the captured output (watchdog stall dumps
+// and failure reports go to stderr) and an optional VAR=value environment
+// prefix for the child process.
+int run_cli_merged(const std::string& args, std::string& output,
+                   const std::string& env_prefix = "") {
+  std::string cmd;
+  if (!env_prefix.empty()) cmd += env_prefix + " ";
+  cmd += std::string(CPQ_BENCH_CLI_PATH) + " " + args + " 2>&1";
+  return run_cli_command(cmd, output);
 }
 
 std::vector<JsonRecord> parse_json_lines(const std::string& text) {
@@ -375,12 +390,75 @@ TEST(BenchCli, ServiceModeEmitsServiceMetrics) {
               out),
       0);
   const std::vector<JsonRecord> records = parse_json_lines(out);
-  ASSERT_EQ(records.size(), 3u);
+  ASSERT_EQ(records.size(), 5u);
   EXPECT_EQ(records[0].metric, "raw_tasks_per_s");
   EXPECT_EQ(records[1].metric, "service_tasks_per_s");
   EXPECT_EQ(records[2].metric, "service_rank_error_median");
+  EXPECT_EQ(records[3].metric, "service_delete_p50_ns");
+  EXPECT_EQ(records[4].metric, "service_delete_p99_ns");
   EXPECT_GT(records[0].mean, 0.0);
   EXPECT_GT(records[1].mean, 0.0);
+  EXPECT_GT(records[3].mean, 0.0);
+  EXPECT_GE(records[4].mean, records[3].mean);
+  // The latency table (third table of service mode) made it to stdout.
+  EXPECT_NE(out.find("delete_min latency [ns] p50/p99 raw -> service"),
+            std::string::npos);
+}
+
+TEST(BenchCli, MetricsFlagReportsPerCellCounters) {
+  std::string out;
+  ASSERT_EQ(run_cli("--mode=throughput --queues=mq --threads=2 --ms=5 "
+                    "--reps=1 --prefill=200 --metrics",
+                    out),
+            0);
+  // One "# metrics" line per cell, naming every counter.
+  EXPECT_NE(out.find("# metrics mq t=2:"), std::string::npos) << out;
+  EXPECT_NE(out.find("cas_retry="), std::string::npos);
+  EXPECT_NE(out.find("lock_retry="), std::string::npos);
+  EXPECT_NE(out.find("ebr_retire="), std::string::npos);
+}
+
+TEST(BenchCli, LatencyModeWithMetricsPrintsHistograms) {
+  std::string out;
+  ASSERT_EQ(run_cli("--mode=latency --queues=glock --threads=1 --ops=2000 "
+                    "--reps=1 --prefill=200 --metrics",
+                    out),
+            0);
+  EXPECT_NE(out.find("delete_min latency [ns] p50 / p99"), std::string::npos);
+  EXPECT_NE(out.find("glock insert latency [ns]: n="), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("glock delete_min latency [ns]: n="), std::string::npos);
+}
+
+TEST(BenchCli, LatencyModeEmitsJsonWithStatus) {
+  std::string out;
+  ASSERT_EQ(run_cli("--mode=latency --queues=glock --threads=1 --ops=1000 "
+                    "--reps=1 --prefill=200 --json=-",
+                    out),
+            0);
+  const std::vector<JsonRecord> records = parse_json_lines(out);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].metric, "latency_delete_p50_ns");
+  EXPECT_EQ(records[1].metric, "latency_delete_p99_ns");
+  EXPECT_EQ(records[2].metric, "latency_insert_p99_ns");
+  for (const JsonRecord& record : records) {
+    EXPECT_EQ(record.status, "ok");
+    EXPECT_GT(record.mean, 0.0);
+    EXPECT_EQ(record.reps, 1u);
+  }
+}
+
+// The watchdog stall path, end to end against the real binary: the process
+// must die with the watchdog exit code (86) and the stall dump must carry
+// the metrics counters and the per-thread sampled-operation trace ring.
+TEST(BenchCli, ForceStallDumpsMetricsAndTracesAndExits86) {
+  std::string out;
+  EXPECT_EQ(run_cli_merged("--force-stall", out, "CPQ_WATCHDOG_S=0.4"), 86);
+  EXPECT_NE(out.find("[cpq-metrics] counters:"), std::string::npos) << out;
+  EXPECT_NE(out.find("cas_retry=3"), std::string::npos) << out;
+  EXPECT_NE(out.find("backoff_pause=7"), std::string::npos) << out;
+  EXPECT_NE(out.find("sampled ops, newest first"), std::string::npos) << out;
+  EXPECT_NE(out.find("insert"), std::string::npos) << out;
 }
 
 }  // namespace
