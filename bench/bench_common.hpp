@@ -4,6 +4,7 @@
 // queues).
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -14,38 +15,127 @@
 #include "bench_framework/registry.hpp"
 #include "bench_framework/table.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
+#include "obs/rank_estimator.hpp"
 
 namespace cpq::bench {
 
-// --metrics: report per-cell metrics-registry counter deltas alongside the
-// measurement tables (one stdout line per cell plus counter_* JSON records).
+// --metrics: report per-cell observability data alongside the measurement
+// tables — metrics-registry counter deltas, the live rank-error estimate
+// (queues with a published relaxation bound), and hardware perf-counter
+// events per operation — one stdout line per cell plus JSON records.
 // Works in every build; without CPQ_METRICS_ENABLED the hooks are compiled
-// out and every counter reads zero.
+// out, every counter reads zero, and the rank estimator sees no samples.
 inline bool& metrics_report_enabled() {
   static bool enabled = false;
   return enabled;
 }
 
-// Zero the registry before a cell so the post-cell totals are that cell's
-// delta. Benchmark cells run their workers strictly between table cells, so
-// nothing is recording concurrently.
-inline void metrics_cell_begin() {
-  if (metrics_report_enabled()) obs::MetricsRegistry::global().reset();
+// One process-wide perf-counter set, reused across cells: opened (with
+// inherit=1) in the driver thread before a cell's workers spawn, so every
+// worker's events aggregate into it. Unavailable events stay NaN.
+inline obs::PerfCounters& cell_perf_counters() {
+  static obs::PerfCounters counters;
+  return counters;
+}
+
+// Arm the observability layer for one table cell: zero the registry so the
+// post-cell totals are that cell's delta, arm the rank estimator with the
+// queue's theoretical bound, and start the hardware counters. Benchmark
+// cells run their workers strictly between table cells, so nothing is
+// recording concurrently.
+inline void metrics_cell_begin(const QueueSpec* spec, unsigned threads) {
+  if (!metrics_report_enabled()) return;
+  obs::MetricsRegistry::global().reset();
+  if (spec != nullptr && !spec->strict) {
+    const double bound = spec->rank_bound ? spec->rank_bound(threads) : 0.0;
+    obs::RankEstimator::global().enable(
+        bound, spec->rank_bound_hard,
+        static_cast<unsigned>(obs::kTraceSampleMask) + 1);
+  }
+  obs::PerfCounters& perf = cell_perf_counters();
+  perf.open();
+  perf.start();
 }
 
 inline void metrics_cell_report(const std::string& experiment,
                                 const std::string& queue, unsigned threads) {
   if (!metrics_report_enabled()) return;
+  cell_perf_counters().stop();
   const auto totals = obs::MetricsRegistry::global().totals();
+  // Finish each "#" text line before emitting its JSON records: with
+  // --json=- the sink shares stdout, and an unterminated printf would glue
+  // the records onto the text line, corrupting both.
   std::printf("# metrics %s t=%u:", queue.c_str(), threads);
   for (unsigned c = 0; c < obs::kNumCounters; ++c) {
     std::printf(" %s=%llu", obs::counter_name(c),
                 static_cast<unsigned long long>(totals[c]));
+  }
+  std::printf("\n");
+  for (unsigned c = 0; c < obs::kNumCounters; ++c) {
     JsonSink::instance().record(
         {experiment, queue, std::string("counter_") + obs::counter_name(c),
          threads, static_cast<double>(totals[c]), 0.0, 1});
   }
+
+  // Live rank-error estimate (armed only for relaxed queues; silent unless
+  // the cell's sampled trace stream scored at least one deletion).
+  obs::RankEstimator& estimator = obs::RankEstimator::global();
+  if (estimator.enabled()) {
+    const obs::RankEstimator::Snapshot snap = estimator.snapshot();
+    if (snap.samples > 0) {
+      std::printf("# rank-est %s t=%u: p50=%.0f p90=%.0f max=%llu",
+                  queue.c_str(), threads, snap.p50, snap.p90,
+                  static_cast<unsigned long long>(snap.max));
+      if (snap.bound > 0.0) {
+        std::printf(" bound=%.0f (%s) violations=%llu", snap.bound,
+                    snap.hard_bound ? "hard" : "soft",
+                    static_cast<unsigned long long>(snap.violations));
+      }
+      std::printf(" samples=%llu (x%u sampling)\n",
+                  static_cast<unsigned long long>(snap.samples),
+                  snap.sample_period);
+      JsonSink::instance().record({experiment, queue, "rank_est_p50",
+                                   threads, snap.p50, 0.0, 1});
+      JsonSink::instance().record({experiment, queue, "rank_est_max", threads,
+                                   static_cast<double>(snap.max), 0.0, 1});
+      if (snap.hard_bound && snap.bound > 0.0) {
+        JsonSink::instance().record(
+            {experiment, queue, "rank_bound_violations", threads,
+             static_cast<double>(snap.violations), 0.0, 1});
+      }
+    }
+    estimator.disable();
+  }
+
+  // Hardware counters per operation. Unavailable events (no perf access,
+  // virtualized PMU) render as null, never as a fake zero; when the cell
+  // executed no accounted operations the per-op division is skipped.
+  const std::uint64_t ops = obs::MetricsRegistry::global().cell_ops();
+  const auto events = cell_perf_counters().read();
+  cell_perf_counters().close();
+  std::printf("# perf %s t=%u:", queue.c_str(), threads);
+  for (unsigned i = 0; i < obs::PerfCounters::kNumEvents; ++i) {
+    const bool have = ops > 0 && !std::isnan(events[i]);
+    if (have) {
+      std::printf(" %s/op=%.2f", obs::PerfCounters::event_name(i),
+                  events[i] / static_cast<double>(ops));
+    } else {
+      std::printf(" %s/op=null", obs::PerfCounters::event_name(i));
+    }
+  }
   std::printf("\n");
+  for (unsigned i = 0; i < obs::PerfCounters::kNumEvents; ++i) {
+    const bool have = ops > 0 && !std::isnan(events[i]);
+    JsonRecord record{experiment, queue,
+                      std::string("perf_") + obs::PerfCounters::event_name(i) +
+                          "_per_op",
+                      threads,
+                      have ? events[i] / static_cast<double>(ops) : 0.0, 0.0,
+                      1};
+    record.mean_is_null = !have;
+    JsonSink::instance().record(record);
+  }
 }
 
 // A failed cell (every repetition threw) renders as "failed" instead of a
@@ -81,7 +171,7 @@ inline bool throughput_table(const std::string& label, BenchConfig cfg,
     std::vector<std::string> cells;
     unsigned ok_cells = 0;
     for (const QueueSpec* spec : roster) {
-      metrics_cell_begin();
+      metrics_cell_begin(spec, threads);
       const ThroughputResult result = spec->throughput(cfg);
       const bool failed = result.failed();
       if (failed) {
@@ -127,7 +217,7 @@ inline bool quality_table(const std::string& label, BenchConfig cfg,
     std::vector<std::string> cells;
     unsigned ok_cells = 0;
     for (const QueueSpec* spec : roster) {
-      metrics_cell_begin();
+      metrics_cell_begin(spec, threads);
       const QualityResult result = spec->quality(cfg);
       const bool failed = result.failed();
       if (failed) {
@@ -186,7 +276,7 @@ inline bool service_table(const std::string& label,
     std::vector<std::string> qcells;
     std::vector<std::string> lcells;
     for (const QueueSpec* spec : roster) {
-      metrics_cell_begin();
+      metrics_cell_begin(spec, total);
       const ServiceComparison comparison = spec->service_bench(cfg);
       char buf[64];
       std::snprintf(buf, sizeof(buf), "%.0f -> %.0f",

@@ -19,8 +19,15 @@
 //                             0 = closed loop)
 //   --checked                 wrap service-mode queues in CheckedQueue
 //   --json[=path]             append JSON-lines records (default stdout)
-//   --metrics                 report metrics-registry counters per cell and
-//                             latency histograms (latency mode)
+//   --metrics                 report metrics-registry counters, live
+//                             rank-error estimates, and hardware perf
+//                             counters per cell (latency mode also prints
+//                             histograms)
+//   --trace-out=FILE          write the sampled op-trace rings as Chrome
+//                             trace-event JSON (chrome://tracing, Perfetto)
+//                             at run end
+//   --dump-traces             dump the op-trace rings to stderr at normal
+//                             run end (the watchdog already dumps on stall)
 //   --force-stall             deliberately trip the progress watchdog and
 //                             exit 86 (exercises the stall-dump path)
 //   --list                    print queues and benchmark modes, then exit
@@ -41,6 +48,7 @@
 
 #include "bench_common.hpp"
 #include "bench_framework/latency.hpp"
+#include "obs/chrome_trace.hpp"
 
 namespace {
 
@@ -115,7 +123,8 @@ int usage(const char* argv0) {
                "          [--mode=throughput|quality|latency|sort|service]\n"
                "          [--arrival-hz=N] [--checked] [--json[=path]] "
                "[--metrics]\n"
-               "          [--force-stall] [--list]\n",
+               "          [--trace-out=FILE] [--dump-traces] "
+               "[--force-stall] [--list]\n",
                argv0);
   return 2;
 }
@@ -180,6 +189,8 @@ int main(int argc, char** argv) {
   std::uint64_t batch_size = 1;
   double arrival_hz = 0.0;
   bool checked = false;
+  bool dump_traces = false;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -194,6 +205,10 @@ int main(int argc, char** argv) {
       metrics_report_enabled() = true;
       continue;
     }
+    if (std::strcmp(argv[i], "--dump-traces") == 0) {
+      dump_traces = true;
+      continue;
+    }
     if (std::strcmp(argv[i], "--force-stall") == 0) {
       return force_stall();
     }
@@ -206,6 +221,11 @@ int main(int argc, char** argv) {
         return bad_value("--json", value, "want a path or '-'");
       }
       JsonSink::instance().set_path(value);
+    } else if (parse_flag(argv[i], "--trace-out", value)) {
+      if (value.empty()) {
+        return bad_value("--trace-out", value, "want a file path");
+      }
+      trace_out = value;
     } else if (parse_flag(argv[i], "--arrival-hz", value)) {
       if (!parse_double(value, arrival_hz) || arrival_hz < 0.0) {
         return bad_value("--arrival-hz", value, "want a rate >= 0");
@@ -292,10 +312,13 @@ int main(int argc, char** argv) {
   print_bench_header("cpq_bench_cli", "parameterizable benchmark (§F)",
                      options);
 
+  // Failed cells set rc but do not return early: the trace export below
+  // still runs, so a failing sweep leaves its diagnostics behind.
+  int rc = 0;
   if (mode == "throughput") {
-    if (!throughput_table("custom", cfg, options, roster)) return 1;
+    if (!throughput_table("custom", cfg, options, roster)) rc = 1;
   } else if (mode == "quality") {
-    if (!quality_table("custom", cfg, options, roster)) return 1;
+    if (!quality_table("custom", cfg, options, roster)) rc = 1;
   } else if (mode == "latency") {
     std::vector<std::string> columns;
     for (const auto* spec : roster) columns.push_back(spec->name);
@@ -307,7 +330,7 @@ int main(int argc, char** argv) {
       std::vector<std::string> cells;
       unsigned ok_cells = 0;
       for (const auto* spec : roster) {
-        metrics_cell_begin();
+        metrics_cell_begin(spec, threads);
         const LatencyResult result = spec->latency(cfg);
         const bool failed = result.failed();
         if (failed) {
@@ -351,7 +374,7 @@ int main(int argc, char** argv) {
       table.add_row(std::to_string(threads), std::move(cells));
     }
     table.print();
-    if (!all_ok) return 1;
+    if (!all_ok) rc = 1;
   } else if (mode == "sort") {
     std::vector<std::string> columns;
     for (const auto* spec : roster) columns.push_back(spec->name);
@@ -377,9 +400,29 @@ int main(int argc, char** argv) {
     scfg.keys = cfg.keys;
     scfg.seed = options.seed;
     scfg.checked = checked;
-    if (!service_table("service", scfg, options, roster)) return 1;
+    if (!service_table("service", scfg, options, roster)) rc = 1;
   } else {
     return usage(argv[0]);
   }
-  return 0;
+
+  // End-of-run observability: the rings hold each worker slice's sampled
+  // tail (they survive worker-thread exit; see MetricsRegistry).
+  if (dump_traces) {
+    cpq::obs::MetricsRegistry::global().dump(stderr);
+  }
+  if (!trace_out.empty()) {
+    if (std::FILE* f = std::fopen(trace_out.c_str(), "w")) {
+      const double ns_per_tick = cpq::obs::calibrate_ns_per_tick();
+      const std::size_t events = cpq::obs::write_chrome_trace(
+          f, cpq::obs::MetricsRegistry::global(), ns_per_tick);
+      std::fclose(f);
+      std::printf("# trace: wrote %zu sampled op events to %s\n", events,
+                  trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cpq_bench_cli: cannot write --trace-out=%s\n",
+                   trace_out.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
 }

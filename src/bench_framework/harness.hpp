@@ -106,11 +106,15 @@ constexpr unsigned kPrefillThread = 0xFFFFF;  // id-space slot for prefill
 }  // namespace detail
 
 // Watchdog diagnostics callback that appends the metrics registry state
-// (counter totals + per-thread sampled-operation rings) to a stall dump.
-// Always wired in: the dump itself is off the hot path, and when the
-// CPQ_COUNT/CPQ_TRACE_OP hooks are compiled out it simply prints zeros.
+// (counter totals + per-thread sampled-operation rings) and, when armed,
+// the live rank-error estimate to a stall dump. Always wired in: the dump
+// itself is off the hot path, and when the CPQ_COUNT/CPQ_TRACE_OP hooks are
+// compiled out it simply prints zeros.
 inline validation::Watchdog::Diagnostics metrics_diagnostics() {
-  return [](std::FILE* out) { obs::MetricsRegistry::global().dump(out); };
+  return [](std::FILE* out) {
+    obs::MetricsRegistry::global().dump(out);
+    obs::RankEstimator::global().dump(out);
+  };
 }
 
 // Prefill the queue with `cfg.prefill` items drawn from the configured key
@@ -193,6 +197,9 @@ double throughput_rep(Queue& queue, const BenchConfig& cfg,
   for (const auto& p : progress) {
     total += p.ops.load(std::memory_order_relaxed);
   }
+  // Denominator for per-op hardware-counter metrics (bench_common.hpp);
+  // recorded once per repetition, after all workers joined.
+  obs::MetricsRegistry::global().add_cell_ops(total);
   return static_cast<double>(total) / elapsed / 1e6;
 }
 
@@ -261,8 +268,9 @@ void quality_rep(Queue& queue, const BenchConfig& cfg, std::uint64_t seed,
           handle.insert(key, id);
           log.push_back({fast_timestamp(), key, id, true});
           progress[tid].tick(op + 1, validation::LastOp::kInsert);
+          CPQ_TRACE_OP(op + 1, ::cpq::obs::TraceOp::kInsert, key);
         } else {
-          std::uint64_t key;
+          std::uint64_t key = 0;
           std::uint64_t id;
           const bool hit = handle.delete_min(key, id);
           if (hit) {
@@ -271,12 +279,18 @@ void quality_rep(Queue& queue, const BenchConfig& cfg, std::uint64_t seed,
           }
           progress[tid].tick(op + 1, hit ? validation::LastOp::kDeleteHit
                                          : validation::LastOp::kDeleteEmpty);
+          CPQ_TRACE_OP(op + 1,
+                       hit ? ::cpq::obs::TraceOp::kDeleteHit
+                           : ::cpq::obs::TraceOp::kDeleteEmpty,
+                       key);
         }
       }
     });
   }
   for (auto& t : team) t.join();
   watchdog.stop();
+  obs::MetricsRegistry::global().add_cell_ops(
+      static_cast<std::uint64_t>(cfg.threads) * cfg.ops_per_thread);
 }
 
 template <typename Factory>

@@ -112,7 +112,9 @@ bool parse_number(Cursor& cur, double& out) {
 }  // namespace
 
 std::string to_json_line(const JsonRecord& record) {
-  std::string out = "{\"experiment\":";
+  std::string out = "{\"schema_version\":";
+  out += std::to_string(record.schema_version);
+  out += ",\"experiment\":";
   append_escaped(out, record.experiment);
   out += ",\"threads\":";
   out += std::to_string(record.threads);
@@ -121,7 +123,11 @@ std::string to_json_line(const JsonRecord& record) {
   out += ",\"metric\":";
   append_escaped(out, record.metric);
   out += ",\"mean\":";
-  append_double(out, record.mean);
+  if (record.mean_is_null) {
+    out += "null";
+  } else {
+    append_double(out, record.mean);
+  }
   out += ",\"ci95\":";
   append_double(out, record.ci95);
   out += ",\"reps\":";
@@ -134,15 +140,23 @@ std::string to_json_line(const JsonRecord& record) {
 
 bool parse_json_record(const std::string& line, JsonRecord& out) {
   out = JsonRecord{};
+  out.schema_version = 1;  // absent key = pre-versioning files
   Cursor cur{line.c_str()};
   if (!cur.consume('{')) return false;
   bool seen[7] = {};
   bool seen_status = false;
+  bool seen_version = false;
   for (;;) {
     std::string key;
     if (!parse_string(cur, key)) return false;
     if (!cur.consume(':')) return false;
-    if (key == "experiment") {
+    if (key == "schema_version") {
+      double v = 0;
+      if (seen_version || !parse_number(cur, v)) return false;
+      if (v < 1 || v > kJsonSchemaVersion) return false;
+      out.schema_version = static_cast<unsigned>(v);
+      seen_version = true;
+    } else if (key == "experiment") {
       if (seen[0] || !parse_string(cur, out.experiment)) return false;
       seen[0] = true;
     } else if (key == "threads") {
@@ -157,7 +171,16 @@ bool parse_json_record(const std::string& line, JsonRecord& out) {
       if (seen[3] || !parse_string(cur, out.metric)) return false;
       seen[3] = true;
     } else if (key == "mean") {
-      if (seen[4] || !parse_number(cur, out.mean)) return false;
+      if (seen[4]) return false;
+      cur.skip_ws();
+      if (std::strncmp(cur.p, "null", 4) == 0) {
+        // Schema v2: metric unavailable in this environment.
+        cur.p += 4;
+        out.mean = 0.0;
+        out.mean_is_null = true;
+      } else if (!parse_number(cur, out.mean)) {
+        return false;
+      }
       seen[4] = true;
     } else if (key == "ci95") {
       if (seen[5] || !parse_number(cur, out.ci95)) return false;

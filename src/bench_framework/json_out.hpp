@@ -21,6 +21,14 @@
 
 namespace cpq::bench {
 
+// Schema version emitted with every record. History:
+//   1 — implicit (no schema_version key): the original 7-key cell schema.
+//   2 — adds "schema_version" itself, allows "mean":null for metrics that
+//       are structurally unavailable (e.g. perf counters the container
+//       denies — distinct from both a measured 0 and a failed cell), and
+//       introduces the rank_est_* / perf_*_per_op metric names.
+inline constexpr unsigned kJsonSchemaVersion = 2;
+
 struct JsonRecord {
   std::string experiment;  // e.g. "fig1_uniform_uniform"
   std::string queue;       // registry name, e.g. "klsm256"
@@ -34,6 +42,12 @@ struct JsonRecord {
   // measurement of 0. Always emitted; optional on parse (older files
   // without the key read back as "ok").
   std::string status = "ok";
+  // Fields below are appended so existing aggregate-initialized literals
+  // keep their meaning.
+  unsigned schema_version = kJsonSchemaVersion;  // 1 when parsed from old files
+  // True renders "mean":null (and mean is ignored): the metric could not be
+  // measured in this environment at all.
+  bool mean_is_null = false;
 
   bool operator==(const JsonRecord&) const = default;
 };

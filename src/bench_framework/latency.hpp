@@ -122,13 +122,18 @@ LatencyResult run_latency(Factory&& make_queue, const BenchConfig& cfg) {
             const std::uint64_t start = fast_timestamp();
             handle.insert(key, detail::item_id(tid, counter++));
             my_ins.record(fast_timestamp() - start);
+            CPQ_TRACE_OP(op + 1, ::cpq::obs::TraceOp::kInsert, key);
           } else {
-            std::uint64_t key;
+            std::uint64_t key = 0;
             std::uint64_t value;
             const std::uint64_t start = fast_timestamp();
             const bool ok = handle.delete_min(key, value);
             my_del.record(fast_timestamp() - start);
             if (ok) gen.observe_deleted(key);
+            CPQ_TRACE_OP(op + 1,
+                         ok ? ::cpq::obs::TraceOp::kDeleteHit
+                            : ::cpq::obs::TraceOp::kDeleteEmpty,
+                         key);
           }
         }
       }, cfg.pin_threads);
@@ -140,6 +145,8 @@ LatencyResult run_latency(Factory&& make_queue, const BenchConfig& cfg) {
         result.insert_ns.add_scaled(ins[tid], ns_per_tick);
         result.delete_ns.add_scaled(del[tid], ns_per_tick);
       }
+      obs::MetricsRegistry::global().add_cell_ops(
+          static_cast<std::uint64_t>(cfg.threads) * cfg.ops_per_thread);
       ++result.completed_reps;
     } catch (const std::exception& e) {
       ++result.failed_reps;

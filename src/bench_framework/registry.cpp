@@ -124,6 +124,12 @@ std::vector<QueueSpec> build_registry() {
       [](unsigned threads, std::uint64_t seed, const BenchConfig&) {
         return std::make_unique<MultiQueue<K, V>>(threads, 4, seed);
       }));
+  // The MultiQueue's rank error is O(cP) only in expectation — soft bound,
+  // reported by the live estimator for context, never a violation.
+  registry.back().rank_bound = [](unsigned threads) {
+    return 4.0 * threads;
+  };
+  registry.back().rank_bound_hard = false;
 
   for (const std::uint64_t k : {128ULL, 256ULL, 4096ULL}) {
     registry.push_back(make_spec(
@@ -133,6 +139,11 @@ std::vector<QueueSpec> build_registry() {
         [k](unsigned threads, std::uint64_t seed, const BenchConfig&) {
           return std::make_unique<KLsmQueue<K, V>>(threads, k, seed);
         }));
+    // Worst-case kP guarantee from the k-LSM paper — hard bound.
+    registry.back().rank_bound = [k](unsigned threads) {
+      return static_cast<double>(k) * threads;
+    };
+    registry.back().rank_bound_hard = true;
   }
 
   // ---- extensions (not part of the paper's roster) ----------------------
@@ -161,6 +172,10 @@ std::vector<QueueSpec> build_registry() {
       [](unsigned threads, std::uint64_t seed, const BenchConfig&) {
         return std::make_unique<SlsmQueue<K, V>>(threads, 256, seed);
       }));
+  registry.back().rank_bound = [](unsigned threads) {
+    return 256.0 * threads;
+  };
+  registry.back().rank_bound_hard = true;
 
   registry.push_back(make_spec(
       "mq-pairing", "MultiQueue, c=4, pairing-heap backed",
@@ -169,6 +184,9 @@ std::vector<QueueSpec> build_registry() {
         return std::make_unique<
             MultiQueue<K, V, seq::PairingHeap<K, V>>>(threads, 4, seed);
       }));
+  registry.back().rank_bound = [](unsigned threads) {
+    return 4.0 * threads;
+  };
 
   registry.push_back(make_spec(
       "mq-dary", "MultiQueue, c=4, 4-ary-heap backed",
@@ -177,6 +195,9 @@ std::vector<QueueSpec> build_registry() {
         return std::make_unique<
             MultiQueue<K, V, seq::DaryHeap<K, V, 4>>>(threads, 4, seed);
       }));
+  registry.back().rank_bound = [](unsigned threads) {
+    return 4.0 * threads;
+  };
 
   registry.push_back(make_spec(
       "slotan", "Shavit-Lotan-style skiplist PQ, eager physical delete",

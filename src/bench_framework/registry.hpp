@@ -31,6 +31,12 @@ struct QueueSpec {
   std::string description;
   bool strict;    // strict (rank error 0 expected) vs relaxed semantics
   bool in_paper;  // part of the paper's benchmark roster
+  // Theoretical rank-error cap as a function of the thread count P (empty =
+  // no published bound). rank_bound_hard distinguishes worst-case guarantees
+  // (k-LSM: kP) from expectations (MultiQueue: O(cP)) — the live estimator
+  // counts violations only against hard bounds.
+  std::function<double(unsigned)> rank_bound;
+  bool rank_bound_hard = false;
   std::function<ThroughputResult(const BenchConfig&)> throughput;
   std::function<QualityResult(const BenchConfig&)> quality;
   std::function<LatencyResult(const BenchConfig&)> latency;

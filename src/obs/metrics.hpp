@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <cstdio>
 
+#include "obs/rank_estimator.hpp"
 #include "platform/cache.hpp"
 #include "platform/timing.hpp"
 
@@ -175,10 +176,34 @@ class MetricsRegistry {
     return totals()[static_cast<unsigned>(c)];
   }
 
+  // Total queue operations executed by the current benchmark cell. Recorded
+  // once per repetition by the harness after its workers join (never on the
+  // hot path) so per-op derived metrics — hardware-counter events per
+  // operation, trace sampling coverage — have a denominator.
+  void add_cell_ops(std::uint64_t n) noexcept {
+    cell_ops_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t cell_ops() const noexcept {
+    return cell_ops_.load(std::memory_order_relaxed);
+  }
+
+  // Visit every sampled trace event across all live rings, oldest first
+  // within each slice. `fn(slice_index, op, key, timestamp)` — used by the
+  // Chrome trace exporter; reads are racy-but-atomic like dump().
+  template <typename Fn>
+  void visit_trace_events(Fn&& fn) const {
+    for (unsigned i = 0; i < kMaxSlices; ++i) {
+      visit_slice_events(slices_[i], i, fn);
+    }
+    visit_slice_events(overflow_, kMaxSlices, fn);
+  }
+
   // Zero every counter and trace ring. Call between benchmark cells, while
   // no measurement threads are recording (increments racing a reset may be
   // lost, nothing worse).
   void reset() {
+    cell_ops_.store(0, std::memory_order_relaxed);
     for (unsigned c = 0; c < kNumCounters; ++c) {
       retired_[c].store(0, std::memory_order_relaxed);
       overflow_.counters[c].store(0, std::memory_order_relaxed);
@@ -218,8 +243,11 @@ class MetricsRegistry {
     ~SliceHandle() { release(); }
 
     // Fold this thread's counts into the retired accumulator and free the
-    // slot for the next worker. The trace ring dies with the thread: the
-    // watchdog only cares about threads that are still (not) running.
+    // slot for the next worker. The trace ring survives the thread: the
+    // end-of-run exporters (--dump-traces, --trace-out) read the rings after
+    // every worker has joined, so a slice keeps its sampled tail until
+    // reset() or until a successor thread claims the slot and records over
+    // it (lanes are per-slice, not per-thread, and are labeled as such).
     void release() noexcept {
       if (slice == nullptr || !owned) {
         slice = nullptr;
@@ -231,11 +259,24 @@ class MetricsRegistry {
         if (v) registry->retired_[c].fetch_add(v, std::memory_order_relaxed);
         slice->counters[c].store(0, std::memory_order_relaxed);
       }
-      slice->trace_count.store(0, std::memory_order_relaxed);
       slice->in_use.store(false, std::memory_order_release);
       slice = nullptr;
     }
   };
+
+  template <typename Fn>
+  static void visit_slice_events(const Slice& slice, unsigned index,
+                                 Fn&& fn) {
+    const std::uint64_t n = slice.trace_count.load(std::memory_order_relaxed);
+    if (n == 0) return;
+    const std::uint64_t shown = n < kTraceCapacity ? n : kTraceCapacity;
+    for (std::uint64_t k = shown; k >= 1; --k) {
+      const TraceEvent& e = slice.trace[(n - k) % kTraceCapacity];
+      fn(index, e.op.load(std::memory_order_relaxed),
+         e.key.load(std::memory_order_relaxed),
+         e.timestamp.load(std::memory_order_relaxed));
+    }
+  }
 
   static void dump_trace(std::FILE* out, const Slice& slice,
                          unsigned index) {
@@ -261,6 +302,7 @@ class MetricsRegistry {
   Slice slices_[kMaxSlices];
   Slice overflow_;
   std::atomic<std::uint64_t> retired_[kNumCounters] = {};
+  std::atomic<std::uint64_t> cell_ops_{0};
 };
 
 // Convenience wrappers used by the hook macros (and directly by tests and
@@ -273,6 +315,17 @@ inline void count(Counter c, std::uint64_t n = 1) noexcept {
 inline void trace(TraceOp op, std::uint64_t key) noexcept {
   MetricsRegistry::global().local_slice().trace_record(op, key,
                                                        fast_timestamp());
+  // Feed the online rank-error estimator from the same sampling seam. The
+  // check is one relaxed load on the already-sampled (1-in-64) path; the
+  // estimator is armed only for --metrics runs of queues with a rank bound.
+  RankEstimator& estimator = RankEstimator::global();
+  if (estimator.enabled()) {
+    if (op == TraceOp::kInsert) {
+      estimator.observe_insert(key);
+    } else if (op == TraceOp::kDeleteHit) {
+      estimator.observe_delete(key);
+    }
+  }
 }
 
 }  // namespace cpq::obs

@@ -1,0 +1,159 @@
+// Hardware performance counters per benchmark cell, via perf_event_open(2).
+//
+// Throughput deltas say *that* a cell moved; cycles/instructions/LLC-miss/
+// branch-miss per operation say *why* (IPC collapse vs cache-thrash vs
+// mispredict storm). Counters are opened in the bench driver thread with
+// inherit=1 before a cell's worker teams are spawned, so every worker thread
+// created during the cell is aggregated into the parent's count (inherited
+// child values fold in when the children exit, and benchmark workers always
+// join before the cell is read). Events are opened individually — not as a
+// group — because PERF_FORMAT_GROUP is incompatible with inherit.
+//
+// Capability probing and graceful degradation are first-class: containers
+// and CI runners routinely deny perf_event_open (seccomp, or
+// kernel.perf_event_paranoid), and some virtualized PMUs expose only a
+// subset of the generic events. Every event opens independently; an event
+// that cannot be opened reads back as NaN and is reported downstream as
+// JSON null — the run itself never fails. Multiplex scaling
+// (time_enabled/time_running) is applied per event, so partially scheduled
+// counters stay meaningful.
+//
+// Non-Linux builds compile the same API with every event unavailable.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace cpq::obs {
+
+class PerfCounters {
+ public:
+  static constexpr unsigned kNumEvents = 4;
+
+  static const char* event_name(unsigned index) noexcept {
+    static const char* const names[kNumEvents] = {
+        "cycles", "instructions", "llc_misses", "branch_misses"};
+    return index < kNumEvents ? names[index] : "?";
+  }
+
+  PerfCounters() { fds_.fill(-1); }
+  ~PerfCounters() { close(); }
+
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  // Open whatever events the environment grants, counters disabled. Returns
+  // true when at least one event opened; false means hardware counting is
+  // entirely unavailable here (the common container case).
+  bool open() {
+    close();
+#if defined(__linux__)
+    static constexpr std::uint32_t kTypes[kNumEvents] = {
+        PERF_TYPE_HARDWARE, PERF_TYPE_HARDWARE, PERF_TYPE_HARDWARE,
+        PERF_TYPE_HARDWARE};
+    static constexpr std::uint64_t kConfigs[kNumEvents] = {
+        PERF_COUNT_HW_CPU_CYCLES, PERF_COUNT_HW_INSTRUCTIONS,
+        PERF_COUNT_HW_CACHE_MISSES, PERF_COUNT_HW_BRANCH_MISSES};
+    for (unsigned i = 0; i < kNumEvents; ++i) {
+      perf_event_attr attr;
+      std::memset(&attr, 0, sizeof(attr));
+      attr.size = sizeof(attr);
+      attr.type = kTypes[i];
+      attr.config = kConfigs[i];
+      attr.disabled = 1;
+      attr.inherit = 1;  // count threads spawned after this open
+      attr.exclude_kernel = 1;  // permitted at perf_event_paranoid <= 2
+      attr.exclude_hv = 1;
+      attr.read_format =
+          PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+      const long fd = ::syscall(__NR_perf_event_open, &attr, /*pid=*/0,
+                                /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0UL);
+      fds_[i] = static_cast<int>(fd);
+    }
+#endif
+    return available();
+  }
+
+  bool available() const noexcept {
+    for (const int fd : fds_) {
+      if (fd >= 0) return true;
+    }
+    return false;
+  }
+
+  void start() noexcept {
+#if defined(__linux__)
+    for (const int fd : fds_) {
+      if (fd < 0) continue;
+      ::ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+      ::ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+    }
+#endif
+  }
+
+  void stop() noexcept {
+#if defined(__linux__)
+    for (const int fd : fds_) {
+      if (fd >= 0) ::ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+    }
+#endif
+  }
+
+  // Multiplex-scaled counts since start(), in event_name order; NaN for
+  // events that are unavailable (never opened, or never scheduled).
+  std::array<double, kNumEvents> read() const {
+    std::array<double, kNumEvents> values;
+    values.fill(std::nan(""));
+#if defined(__linux__)
+    for (unsigned i = 0; i < kNumEvents; ++i) {
+      if (fds_[i] < 0) continue;
+      struct {
+        std::uint64_t value;
+        std::uint64_t time_enabled;
+        std::uint64_t time_running;
+      } sample{};
+      if (::read(fds_[i], &sample, sizeof(sample)) !=
+          static_cast<ssize_t>(sizeof(sample))) {
+        continue;
+      }
+      if (sample.time_running == 0) {
+        // Enabled but never scheduled onto the PMU: no information.
+        if (sample.time_enabled != 0) continue;
+        values[i] = static_cast<double>(sample.value);
+        continue;
+      }
+      values[i] = static_cast<double>(sample.value) *
+                  (static_cast<double>(sample.time_enabled) /
+                   static_cast<double>(sample.time_running));
+    }
+#endif
+    return values;
+  }
+
+  void close() noexcept {
+#if defined(__linux__)
+    for (int& fd : fds_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+#else
+    fds_.fill(-1);
+#endif
+  }
+
+ private:
+  std::array<int, kNumEvents> fds_;
+};
+
+}  // namespace cpq::obs

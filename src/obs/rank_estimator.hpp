@@ -1,0 +1,197 @@
+// Online rank-error estimator: live p50/max rank-error telemetry while a
+// benchmark cell is still running, fed from the same 1-in-64 sampling seam
+// as the operation trace rings (CPQ_TRACE_OP in the measurement loops).
+//
+// The offline replay (bench_framework/quality_replay.cpp) is exact but only
+// speaks after a run ends; a relaxation regression mid-sweep is invisible
+// until the post-processing step. This estimator maintains a bounded
+// sliding-window sketch of sampled live keys: every sampled insert adds its
+// key, every sampled successful delete_min estimates the deleted item's rank
+// as (number of sketch keys smaller than it) x sample_period — both sides of
+// the sketch are thinned at the same rate, so the scaled count is an
+// unbiased estimate of the true rank at the deletion point. Estimates feed a
+// LogHistogram (p50/p90/max) and are checked against the queue's theoretical
+// relaxation bound (kP for the k-LSM; the MultiQueue's O(cP) expectation is
+// a soft bound — reported for context, never counted as a violation).
+//
+// Accuracy model (see EXPERIMENTS.md "live telemetry vs offline replay"):
+//   * granularity: estimates are multiples of sample_period (64), so rank
+//     errors far below the period read as 0 — strict queues show ~0, the
+//     k-LSM's kP-scale errors are resolved;
+//   * variance: a sampled window sees rank/period smaller keys in
+//     expectation; hard-bound violations therefore use a slack of
+//     2 x sample_period so sampling noise alone cannot trip them;
+//   * the window is capacity-bounded (kWindowCapacity); when full, new
+//     sampled inserts overwrite pseudo-randomly, biasing estimates low for
+//     queues holding far more than capacity x period items.
+//
+// Cost model: observe_* runs only on the sampled path (1 in 64 operations)
+// and takes an uncontended internal spin lock for an O(window) scan —
+// amortized a few ns/op. When disabled (the default) the feed is one relaxed
+// load and a predicted-not-taken branch on the sampled path; with
+// CPQ_METRICS off the call sites themselves compile away.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+
+#include "obs/histogram.hpp"
+
+namespace cpq::obs {
+
+class RankEstimator {
+ public:
+  static constexpr std::size_t kWindowCapacity = 256;
+
+  struct Snapshot {
+    std::uint64_t samples = 0;     // scored deletions
+    double p50 = 0.0;              // estimated rank error percentiles
+    double p90 = 0.0;
+    std::uint64_t max = 0;
+    std::uint64_t violations = 0;  // hard-bound breaches (with slack)
+    double bound = 0.0;            // configured theoretical bound (0 = none)
+    bool hard_bound = false;
+    unsigned sample_period = 1;
+  };
+
+  // Leaky singleton, mirroring MetricsRegistry: safe to touch from
+  // thread-exit paths at any point of process teardown.
+  static RankEstimator& global() {
+    static RankEstimator* estimator = new RankEstimator();
+    return *estimator;
+  }
+
+  // Arm the estimator for a benchmark cell. `bound` is the queue's
+  // theoretical rank-error cap at the cell's thread count (0 = none);
+  // `hard_bound` says whether breaches count as violations (k-LSM kP) or
+  // the bound is an expectation reported for context only (MultiQueue cP).
+  // `sample_period` is the trace sampling period (kTraceSampleMask + 1).
+  void enable(double bound, bool hard_bound, unsigned sample_period) {
+    lock();
+    reset_locked();
+    bound_ = bound;
+    hard_bound_ = hard_bound;
+    sample_period_ = sample_period == 0 ? 1 : sample_period;
+    unlock();
+    enabled_.store(true, std::memory_order_release);
+  }
+
+  void disable() { enabled_.store(false, std::memory_order_release); }
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // A sampled insert: the key joins the live-set sketch. When the window is
+  // full an arbitrary slot is recycled (round-robin) — dropping a uniformly
+  // sampled element keeps the sketch a uniform sample of the live set.
+  void observe_insert(std::uint64_t key) noexcept {
+    lock();
+    if (size_ < kWindowCapacity) {
+      window_[size_++] = key;
+    } else {
+      window_[recycle_++ % kWindowCapacity] = key;
+    }
+    unlock();
+  }
+
+  // A sampled successful delete_min: score the deleted key against the
+  // sketch, then evict its sketch entry (exact key match if present,
+  // otherwise the smallest entry — the unsampled deletions between two
+  // sampled ones removed small keys with high probability).
+  void observe_delete(std::uint64_t key) noexcept {
+    lock();
+    std::size_t smaller = 0;
+    std::size_t exact = size_;     // first entry equal to the deleted key
+    std::size_t smallest = size_;  // index of the smallest entry
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (window_[i] < key) ++smaller;
+      if (window_[i] == key && exact == size_) exact = i;
+      if (smallest == size_ || window_[i] < window_[smallest]) smallest = i;
+    }
+    const std::uint64_t estimate =
+        static_cast<std::uint64_t>(smaller) * sample_period_;
+    estimates_.record(estimate);
+    if (hard_bound_ && bound_ > 0.0 &&
+        static_cast<double>(estimate) >
+            bound_ + 2.0 * static_cast<double>(sample_period_)) {
+      ++violations_;
+    }
+    const std::size_t evict = exact != size_ ? exact : smallest;
+    if (evict < size_) {
+      window_[evict] = window_[--size_];
+    }
+    unlock();
+  }
+
+  Snapshot snapshot() const {
+    lock();
+    Snapshot snap;
+    snap.samples = estimates_.count();
+    snap.p50 = static_cast<double>(estimates_.quantile(0.50));
+    snap.p90 = static_cast<double>(estimates_.quantile(0.90));
+    snap.max = estimates_.max_value();
+    snap.violations = violations_;
+    snap.bound = bound_;
+    snap.hard_bound = hard_bound_;
+    snap.sample_period = sample_period_;
+    unlock();
+    return snap;
+  }
+
+  // Watchdog-diagnostics style dump; silent when the estimator never scored
+  // a deletion (e.g. quality/sort modes, which do not trace).
+  void dump(std::FILE* out) const {
+    if (!enabled()) return;
+    const Snapshot snap = snapshot();
+    if (snap.samples == 0) return;
+    std::fprintf(out,
+                 "[cpq-rank-est] sampled deletions=%llu "
+                 "rank error p50=%.0f p90=%.0f max=%llu",
+                 static_cast<unsigned long long>(snap.samples), snap.p50,
+                 snap.p90, static_cast<unsigned long long>(snap.max));
+    if (snap.bound > 0.0) {
+      std::fprintf(out, " bound=%.0f (%s) violations=%llu", snap.bound,
+                   snap.hard_bound ? "hard" : "soft",
+                   static_cast<unsigned long long>(snap.violations));
+    }
+    std::fprintf(out, " (x%u sampling)\n", snap.sample_period);
+  }
+
+ private:
+  RankEstimator() = default;
+
+  void reset_locked() noexcept {
+    size_ = 0;
+    recycle_ = 0;
+    violations_ = 0;
+    estimates_.clear();
+    bound_ = 0.0;
+    hard_bound_ = false;
+    sample_period_ = 1;
+  }
+
+  // Internal test-and-set lock (not platform/spinlock.hpp: that header
+  // includes obs/metrics.hpp, which includes this one — and the estimator's
+  // own lock acquisitions must not feed the kLockRetry counter).
+  void lock() const noexcept {
+    while (lock_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() const noexcept { lock_.clear(std::memory_order_release); }
+
+  std::atomic<bool> enabled_{false};
+  mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+  std::uint64_t window_[kWindowCapacity] = {};
+  std::size_t size_ = 0;
+  std::size_t recycle_ = 0;
+  LogHistogram estimates_;
+  std::uint64_t violations_ = 0;
+  double bound_ = 0.0;
+  bool hard_bound_ = false;
+  unsigned sample_period_ = 1;
+};
+
+}  // namespace cpq::obs

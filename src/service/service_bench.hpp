@@ -119,14 +119,16 @@ void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
 
   std::vector<validation::WorkerProgress> progress(threads);
   // Chain the engine-specific diagnostics (shard stats for service runs)
-  // with the metrics registry dump so a stall report carries both.
+  // with the metrics-registry and rank-estimator dumps so a stall report
+  // carries all three.
   validation::Watchdog watchdog(
       cfg.label.empty() ? "service-bench" : cfg.label, progress.data(),
       threads, validation::watchdog_deadline(cfg.watchdog_s),
-      [inner = std::move(diagnostics)](std::FILE* out) {
-        if (inner) inner(out);
-        obs::MetricsRegistry::global().dump(out);
-      });
+      validation::Watchdog::chain_diagnostics(
+          std::move(diagnostics), [](std::FILE* out) {
+            obs::MetricsRegistry::global().dump(out);
+            obs::RankEstimator::global().dump(out);
+          }));
 
   // Calibrate fast_timestamp ticks against wall time for this run.
   const std::uint64_t tsc0 = fast_timestamp();
@@ -220,6 +222,8 @@ void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
     result.submitted += submitted[tid].value;
     result.delivered += delivered[tid].value;
   }
+  obs::MetricsRegistry::global().add_cell_ops(result.submitted +
+                                              result.delivered);
   if (cfg.measure_latency) {
     const double ns_per_tick =
         static_cast<double>(calibration.elapsed_ns()) /

@@ -54,8 +54,49 @@ TEST(JsonOut, ParserToleratesWhitespaceAndKeyOrder) {
       "    \"metric\" : \"throughput_mops\" , \"queue\" : \"mq\" ,\n"
       "    \"threads\" : 2 , \"experiment\" : \"fig1\" }  ",
       parsed));
-  EXPECT_EQ(parsed,
-            (JsonRecord{"fig1", "mq", "throughput_mops", 2, 1.5, 0.25, 3}));
+  JsonRecord expected{"fig1", "mq", "throughput_mops", 2, 1.5, 0.25, 3};
+  expected.schema_version = 1;  // no schema_version key = v1 file
+  EXPECT_EQ(parsed, expected);
+}
+
+TEST(JsonOut, SchemaVersionRoundTripsAndValidates) {
+  // The writer stamps the current version on every line.
+  const std::string line = to_json_line(
+      {"fig1", "mq", "throughput_mops", 2, 1.5, 0.25, 3});
+  EXPECT_NE(line.find("\"schema_version\":2"), std::string::npos);
+  JsonRecord parsed;
+  ASSERT_TRUE(parse_json_record(line, parsed));
+  EXPECT_EQ(parsed.schema_version, kJsonSchemaVersion);
+  // Version 1 is accepted explicitly as well as implicitly.
+  ASSERT_TRUE(parse_json_record(
+      R"({"schema_version":1,"experiment":"e","threads":1,"queue":"q","metric":"m","mean":1,"ci95":0,"reps":1})",
+      parsed));
+  EXPECT_EQ(parsed.schema_version, 1u);
+  // Future versions and nonsense are schema drift, as are duplicates.
+  EXPECT_FALSE(parse_json_record(
+      R"({"schema_version":3,"experiment":"e","threads":1,"queue":"q","metric":"m","mean":1,"ci95":0,"reps":1})",
+      parsed));
+  EXPECT_FALSE(parse_json_record(
+      R"({"schema_version":0,"experiment":"e","threads":1,"queue":"q","metric":"m","mean":1,"ci95":0,"reps":1})",
+      parsed));
+  EXPECT_FALSE(parse_json_record(
+      R"({"schema_version":2,"schema_version":2,"experiment":"e","threads":1,"queue":"q","metric":"m","mean":1,"ci95":0,"reps":1})",
+      parsed));
+}
+
+TEST(JsonOut, NullMeanRoundTripsForUnavailableMetrics) {
+  JsonRecord record{"fig1", "mq", "perf_cycles_per_op", 2, 0.0, 0.0, 1};
+  record.mean_is_null = true;
+  const std::string line = to_json_line(record);
+  EXPECT_NE(line.find("\"mean\":null"), std::string::npos);
+  JsonRecord parsed;
+  ASSERT_TRUE(parse_json_record(line, parsed));
+  EXPECT_TRUE(parsed.mean_is_null);
+  EXPECT_EQ(parsed, record);
+  // null is only valid for mean; elsewhere it is malformed input.
+  EXPECT_FALSE(parse_json_record(
+      R"({"experiment":"e","threads":1,"queue":"q","metric":"m","mean":1,"ci95":null,"reps":1})",
+      parsed));
 }
 
 TEST(JsonOut, ParserRejectsSchemaDrift) {

@@ -448,6 +448,98 @@ TEST(BenchCli, LatencyModeEmitsJsonWithStatus) {
   }
 }
 
+TEST(BenchCli, JsonLinesCarryCurrentSchemaVersion) {
+  std::string out;
+  ASSERT_EQ(run_cli("--mode=throughput --queues=glock --threads=1 --ms=5 "
+                    "--reps=1 --prefill=200 --json=-",
+                    out),
+            0);
+  EXPECT_NE(out.find("\"schema_version\":2,"), std::string::npos) << out;
+  const std::vector<JsonRecord> records = parse_json_lines(out);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].schema_version, kJsonSchemaVersion);
+}
+
+// Live quality telemetry: with --metrics, a relaxed-queue cell must report
+// the online rank-error estimate and its relaxation bound; hardware perf
+// counters report per-op rates, or "null" where the environment denies
+// perf_event_open (containers/CI) — either way the run succeeds.
+TEST(BenchCli, MetricsFlagReportsRankEstimateAndPerfCounters) {
+  std::string out;
+  ASSERT_EQ(run_cli("--mode=throughput --queues=klsm256 --threads=2 --ms=20 "
+                    "--reps=1 --prefill=5000 --metrics --json=-",
+                    out),
+            0);
+  EXPECT_NE(out.find("# rank-est klsm256 t=2:"), std::string::npos) << out;
+  EXPECT_NE(out.find("bound=512 (hard)"), std::string::npos) << out;
+  EXPECT_NE(out.find("violations="), std::string::npos) << out;
+  EXPECT_NE(out.find("# perf klsm256 t=2:"), std::string::npos) << out;
+  EXPECT_NE(out.find("cycles/op="), std::string::npos) << out;
+
+  bool saw_rank_est = false;
+  bool saw_perf = false;
+  for (const JsonRecord& record : parse_json_lines(out)) {
+    if (record.metric == "rank_est_p50") saw_rank_est = true;
+    if (record.metric == "perf_cycles_per_op") saw_perf = true;
+  }
+  EXPECT_TRUE(saw_rank_est) << out;
+  EXPECT_TRUE(saw_perf) << out;
+}
+
+// Strict queues have rank error identically zero by construction; the
+// estimator must stay disarmed for them (no "# rank-est" line).
+TEST(BenchCli, StrictQueuesDoNotArmTheRankEstimator) {
+  std::string out;
+  ASSERT_EQ(run_cli("--mode=throughput --queues=glock --threads=2 --ms=10 "
+                    "--reps=1 --prefill=500 --metrics",
+                    out),
+            0);
+  EXPECT_EQ(out.find("# rank-est"), std::string::npos) << out;
+}
+
+TEST(BenchCli, DumpTracesPrintsRingsAtNormalExit) {
+  std::string out;
+  ASSERT_EQ(run_cli_merged("--mode=throughput --queues=mq --threads=2 "
+                           "--ms=10 --reps=1 --prefill=500 --dump-traces",
+                           out),
+            0);
+  EXPECT_NE(out.find("sampled ops, newest first"), std::string::npos) << out;
+}
+
+TEST(BenchCli, TraceOutWritesLoadableChromeTrace) {
+  const std::string path = ::testing::TempDir() + "cpq_cli_trace_test.json";
+  std::remove(path.c_str());
+  std::string out;
+  ASSERT_EQ(run_cli("--mode=throughput --queues=mq --threads=2 --ms=10 "
+                    "--reps=1 --prefill=500 --trace-out=" + path,
+                    out),
+            0);
+  EXPECT_NE(out.find("# trace: wrote"), std::string::npos) << out;
+
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr) << path;
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+  // Structural spot checks; full schema validation is CI's
+  // tools/check_chrome_trace.py job.
+  EXPECT_EQ(text.find("{\"traceEvents\":["), 0u) << text.substr(0, 80);
+  EXPECT_NE(text.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(text.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"i\",\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(text.find("\"displayTimeUnit\":\"ns\"}"), std::string::npos);
+}
+
+TEST(BenchCli, EmptyTraceOutPathIsRejected) {
+  std::string out;
+  EXPECT_EQ(run_cli("--trace-out=", out), 2);
+}
+
 // The watchdog stall path, end to end against the real binary: the process
 // must die with the watchdog exit code (86) and the stall dump must carry
 // the metrics counters and the per-thread sampled-operation trace ring.

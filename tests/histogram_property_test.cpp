@@ -1,0 +1,151 @@
+// Property tests for the log-linear histogram (src/obs/histogram.hpp),
+// run across randomized value streams:
+//
+//   * merge is commutative and associative (counts, extrema, every
+//     quantile — merge is bucket-wise addition, so these match exactly),
+//   * quantile(q) is monotone non-decreasing in q,
+//   * quantiles stay within the advertised relative-error bound
+//     (2^-kSubBucketBits ~ 3.1% at 5 sub-bucket bits) of the exact
+//     nearest-rank value computed from the raw stream.
+//
+// Streams mix distributions deliberately: uniform, heavy-tailed
+// (exponentially scaled), and near-constant — each stresses a different
+// part of the octave table.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace cpq::obs {
+namespace {
+
+constexpr double kRelError = 1.0 / LogHistogram::kSubBuckets;  // 3.125%
+
+// One randomized stream per seed; distribution varies with the seed.
+std::vector<std::uint64_t> random_stream(std::uint64_t seed, std::size_t n) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint64_t> values;
+  values.reserve(n);
+  switch (seed % 3) {
+    case 0:  // uniform over a wide range
+      for (std::size_t i = 0; i < n; ++i) values.push_back(rng() % 10'000'000);
+      break;
+    case 1:  // heavy tail: uniform mantissa, geometric exponent
+      for (std::size_t i = 0; i < n; ++i) values.push_back(rng() >> (rng() % 56));
+      break;
+    default:  // near-constant cluster with occasional spikes
+      for (std::size_t i = 0; i < n; ++i) {
+        values.push_back(1000 + rng() % 16 + (rng() % 97 == 0 ? 1u << 20 : 0));
+      }
+      break;
+  }
+  return values;
+}
+
+LogHistogram record_all(const std::vector<std::uint64_t>& values) {
+  LogHistogram h;
+  for (const std::uint64_t v : values) h.record(v);
+  return h;
+}
+
+// Exact nearest-rank quantile over the raw values (same convention as
+// LogHistogram::quantile and latency.hpp's percentiles_of).
+std::uint64_t exact_quantile(std::vector<std::uint64_t> sorted, double q) {
+  const double raw = std::ceil(q * static_cast<double>(sorted.size()));
+  std::size_t index = raw <= 1.0 ? 0 : static_cast<std::size_t>(raw) - 1;
+  index = std::min(index, sorted.size() - 1);
+  return sorted[index];
+}
+
+void expect_equivalent(const LogHistogram& a, const LogHistogram& b,
+                       const char* what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  EXPECT_EQ(a.min_value(), b.min_value()) << what;
+  EXPECT_EQ(a.max_value(), b.max_value()) << what;
+  // Sums are reduced in different association orders; equal up to rounding.
+  EXPECT_NEAR(a.mean(), b.mean(), 1e-9 * (std::abs(a.mean()) + 1.0)) << what;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    EXPECT_EQ(a.quantile(q), b.quantile(q)) << what << " q=" << q;
+  }
+}
+
+TEST(HistogramPropertyTest, MergeIsCommutative) {
+  for (std::uint64_t seed = 1; seed <= 9; ++seed) {
+    const auto xs = random_stream(seed, 2000);
+    const auto ys = random_stream(seed + 100, 3000);
+    LogHistogram ab = record_all(xs);
+    ab.merge(record_all(ys));
+    LogHistogram ba = record_all(ys);
+    ba.merge(record_all(xs));
+    expect_equivalent(ab, ba, "a+b vs b+a");
+  }
+}
+
+TEST(HistogramPropertyTest, MergeIsAssociative) {
+  for (std::uint64_t seed = 1; seed <= 9; ++seed) {
+    const auto xs = random_stream(seed, 1500);
+    const auto ys = random_stream(seed + 100, 1500);
+    const auto zs = random_stream(seed + 200, 1500);
+    // (a + b) + c
+    LogHistogram left = record_all(xs);
+    left.merge(record_all(ys));
+    left.merge(record_all(zs));
+    // a + (b + c)
+    LogHistogram bc = record_all(ys);
+    bc.merge(record_all(zs));
+    LogHistogram right = record_all(xs);
+    right.merge(bc);
+    expect_equivalent(left, right, "(a+b)+c vs a+(b+c)");
+  }
+}
+
+TEST(HistogramPropertyTest, MergeMatchesSingleRecording) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto xs = random_stream(seed, 2500);
+    const auto ys = random_stream(seed + 50, 2500);
+    LogHistogram merged = record_all(xs);
+    merged.merge(record_all(ys));
+    auto both = xs;
+    both.insert(both.end(), ys.begin(), ys.end());
+    expect_equivalent(merged, record_all(both), "merge vs combined stream");
+  }
+}
+
+TEST(HistogramPropertyTest, QuantilesAreMonotone) {
+  for (std::uint64_t seed = 1; seed <= 9; ++seed) {
+    const LogHistogram h = record_all(random_stream(seed, 5000));
+    std::uint64_t previous = 0;
+    for (double q = 0.0; q <= 1.0; q += 0.01) {
+      const std::uint64_t value = h.quantile(q);
+      EXPECT_GE(value, previous) << "seed=" << seed << " q=" << q;
+      previous = value;
+    }
+    EXPECT_EQ(h.quantile(1.0), h.max_value()) << "seed=" << seed;
+  }
+}
+
+TEST(HistogramPropertyTest, QuantilesWithinRelativeErrorBound) {
+  for (std::uint64_t seed = 1; seed <= 9; ++seed) {
+    auto values = random_stream(seed, 5000);
+    const LogHistogram h = record_all(values);
+    std::sort(values.begin(), values.end());
+    for (const double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+      const double exact = static_cast<double>(exact_quantile(values, q));
+      const double got = static_cast<double>(h.quantile(q));
+      // Relative bucket error, plus 1 for integer representatives of tiny
+      // values (a bucket holding only {2,3} may answer 2 for exact 3).
+      EXPECT_NEAR(got, exact, exact * kRelError + 1.0)
+          << "seed=" << seed << " q=" << q;
+    }
+    EXPECT_EQ(h.min_value(), values.front()) << "seed=" << seed;
+    EXPECT_EQ(h.max_value(), values.back()) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace cpq::obs

@@ -3,6 +3,7 @@
 // folding on thread exit, trace-ring wraparound, dump format).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -12,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/chrome_trace.hpp"
 #include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 
@@ -253,6 +255,112 @@ TEST(MetricsRegistryTest, CounterNamesCoverEveryCounter) {
     EXPECT_STRNE(counter_name(c), "?") << c;
   }
   EXPECT_STREQ(counter_name(kNumCounters), "?");
+}
+
+TEST(MetricsRegistryTest, CellOpsAccumulateAndReset) {
+  auto& registry = MetricsRegistry::global();
+  registry.reset();
+  EXPECT_EQ(registry.cell_ops(), 0u);
+  registry.add_cell_ops(1000);
+  registry.add_cell_ops(234);
+  EXPECT_EQ(registry.cell_ops(), 1234u);
+  registry.reset();
+  EXPECT_EQ(registry.cell_ops(), 0u);
+}
+
+TEST(MetricsRegistryTest, TraceRingSurvivesThreadExit) {
+  // The end-of-run exporters (--dump-traces, --trace-out) read the rings
+  // after every worker joined; the sampled tail must not die with the
+  // recording thread.
+  auto& registry = MetricsRegistry::global();
+  registry.reset();
+  std::thread([] { trace(TraceOp::kInsert, 777); }).join();
+  unsigned found = 0;
+  registry.visit_trace_events(
+      [&](unsigned, std::uint8_t op, std::uint64_t key, std::uint64_t) {
+        if (op == static_cast<std::uint8_t>(TraceOp::kInsert) && key == 777) {
+          ++found;
+        }
+      });
+  EXPECT_EQ(found, 1u);
+  registry.reset();
+}
+
+TEST(MetricsRegistryTest, VisitTraceEventsYieldsOldestFirstAfterWrap) {
+  auto& registry = MetricsRegistry::global();
+  registry.reset();
+  const unsigned total = MetricsRegistry::kTraceCapacity + 7;
+  for (unsigned i = 1; i <= total; ++i) {
+    trace(TraceOp::kInsert, i);
+  }
+  std::vector<std::uint64_t> keys;
+  registry.visit_trace_events(
+      [&](unsigned, std::uint8_t, std::uint64_t key, std::uint64_t) {
+        keys.push_back(key);
+      });
+  ASSERT_EQ(keys.size(), MetricsRegistry::kTraceCapacity);
+  // Only the newest kTraceCapacity events survive, in recording order.
+  EXPECT_EQ(keys.front(), total - MetricsRegistry::kTraceCapacity + 1);
+  EXPECT_EQ(keys.back(), total);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  registry.reset();
+}
+
+// --- Chrome trace export ----------------------------------------------------
+
+TEST(ChromeTraceTest, EmptyRegistryYieldsValidEmptyDocument) {
+  auto& registry = MetricsRegistry::global();
+  registry.reset();
+  char* buffer = nullptr;
+  std::size_t size = 0;
+  std::FILE* stream = open_memstream(&buffer, &size);
+  ASSERT_NE(stream, nullptr);
+  const std::size_t events = write_chrome_trace(stream, registry, 1.0);
+  std::fclose(stream);
+  const std::string text(buffer, size);
+  std::free(buffer);
+  EXPECT_EQ(events, 0u);
+  EXPECT_NE(text.find("{\"traceEvents\":["), std::string::npos) << text;
+  EXPECT_NE(text.find("]"), std::string::npos) << text;
+}
+
+TEST(ChromeTraceTest, ExportsInstantEventsAndThreadNames) {
+  auto& registry = MetricsRegistry::global();
+  registry.reset();
+  trace(TraceOp::kInsert, 101);
+  trace(TraceOp::kDeleteHit, 202);
+  trace(TraceOp::kDeleteEmpty, 0);
+
+  char* buffer = nullptr;
+  std::size_t size = 0;
+  std::FILE* stream = open_memstream(&buffer, &size);
+  ASSERT_NE(stream, nullptr);
+  const std::size_t events = write_chrome_trace(stream, registry, 0.5);
+  std::fclose(stream);
+  const std::string text(buffer, size);
+  std::free(buffer);
+  registry.reset();
+
+  EXPECT_EQ(events, 3u);
+  // Lane metadata plus one instant event per sampled op, Perfetto-style.
+  EXPECT_NE(text.find("\"thread_name\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"ph\":\"M\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"s\":\"t\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"name\":\"insert\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"name\":\"delete_hit\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"key\":101"), std::string::npos) << text;
+  // Rebased to the earliest event: the first instant is at ts 0.
+  EXPECT_NE(text.find("\"ts\":0.000"), std::string::npos) << text;
+}
+
+TEST(ChromeTraceTest, CalibrationIsPositiveAndSane) {
+  const double ns_per_tick = calibrate_ns_per_tick(0.005);
+  EXPECT_GT(ns_per_tick, 0.0);
+  // TSC frequencies live between ~0.5 GHz and ~6 GHz; steady_clock fallback
+  // is exactly 1 ns/tick. Either way the factor is within [0.1, 10].
+  EXPECT_GT(ns_per_tick, 0.1);
+  EXPECT_LT(ns_per_tick, 10.0);
 }
 
 }  // namespace

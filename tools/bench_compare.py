@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Compare a benchmark JSON Lines run against a committed baseline.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CURRENT.json [options]
+    tools/bench_compare.py --self-test
+
+Both files hold the cpq JSON Lines cell records emitted via CPQ_JSON /
+--json (one object per line; see src/bench_framework/json_out.hpp).
+Cells are matched on (experiment, queue, metric, threads) and compared
+with noise-aware thresholds:
+
+  * a relative guard band (--threshold, default 20%), plus
+  * the wider of the two runs' 95% confidence intervals, when recorded.
+
+Only metric families with a known "better" direction are compared
+(throughput up, latency down, bound violations down); counters,
+rank-error estimates, and per-op hardware-counter rates are
+machine/config-dependent and are reported informationally only. Cells
+missing from either side are reported but are not failures: baselines
+are allowed to trail the benchmark matrix.
+
+Exit codes: 0 = no regression, 1 = regression detected, 2 = bad
+invocation or unparseable input. --report-only prints the comparison but
+always exits 0/2 (for CI steps that compare against a baseline recorded
+on different hardware).
+"""
+
+import argparse
+import json
+import sys
+
+# metric-name prefix -> direction ("up" = bigger is better)
+COMPARED_METRICS = {
+    "throughput_mops": "up",
+    "raw_tasks_per_s": "up",
+    "service_tasks_per_s": "up",
+    "latency_delete_p50_ns": "down",
+    "latency_delete_p99_ns": "down",
+    "latency_insert_p99_ns": "down",
+    "service_delete_p50_ns": "down",
+    "service_delete_p99_ns": "down",
+    "rank_bound_violations": "down",
+}
+
+REQUIRED_KEYS = {"experiment", "queue", "metric", "threads", "mean", "ci95",
+                 "reps"}
+MAX_SCHEMA_VERSION = 2
+
+
+class ParseError(Exception):
+    pass
+
+
+def load_records(path):
+    """Parse a JSON Lines file into {cell_key: record}."""
+    records = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise ParseError(f"{path}:{lineno}: not JSON: {err}") from err
+            if not isinstance(obj, dict):
+                raise ParseError(f"{path}:{lineno}: not an object")
+            missing = REQUIRED_KEYS - obj.keys()
+            if missing:
+                raise ParseError(
+                    f"{path}:{lineno}: missing keys: {sorted(missing)}")
+            version = obj.get("schema_version", 1)
+            if not isinstance(version, int) or not (
+                    1 <= version <= MAX_SCHEMA_VERSION):
+                raise ParseError(
+                    f"{path}:{lineno}: unsupported schema_version {version!r}")
+            key = (obj["experiment"], obj["queue"], obj["metric"],
+                   obj["threads"])
+            # Re-runs append: the last record for a cell wins.
+            records[key] = obj
+    return records
+
+
+def compare(baseline, current, threshold):
+    """Return (regressions, improvements, skipped, missing) lists."""
+    regressions = []
+    improvements = []
+    skipped = []
+    missing = []
+
+    for key, base in sorted(baseline.items()):
+        metric = key[2]
+        direction = COMPARED_METRICS.get(metric)
+        cur = current.get(key)
+        if cur is None:
+            missing.append(key)
+            continue
+        if direction is None:
+            skipped.append(key)
+            continue
+        if base.get("status") == "failed" or cur.get("status") == "failed":
+            # A cell failing now where it passed before IS a regression.
+            if base.get("status") != "failed" and cur.get("status") == "failed":
+                regressions.append((key, base, cur, "cell failed"))
+            continue
+        if base["mean"] is None or cur["mean"] is None:
+            skipped.append(key)  # metric unavailable in one environment
+            continue
+
+        base_mean = float(base["mean"])
+        cur_mean = float(cur["mean"])
+        noise = max(float(base.get("ci95") or 0.0),
+                    float(cur.get("ci95") or 0.0))
+        band = abs(base_mean) * threshold + noise
+        if direction == "up":
+            delta = cur_mean - base_mean
+        else:
+            delta = base_mean - cur_mean
+        if delta < -band:
+            pct = 100.0 * delta / base_mean if base_mean else float("inf")
+            regressions.append((key, base, cur, f"{pct:+.1f}%"))
+        elif delta > band:
+            improvements.append((key, base, cur))
+    return regressions, improvements, skipped, missing
+
+
+def describe(key):
+    experiment, queue, metric, threads = key
+    return f"{experiment} / {queue} / {metric} @ t={threads}"
+
+
+def run_compare(args):
+    try:
+        baseline = load_records(args.baseline)
+        current = load_records(args.current)
+    except (OSError, ParseError) as err:
+        print(f"bench_compare: {err}", file=sys.stderr)
+        return 2
+    if not baseline:
+        print(f"bench_compare: {args.baseline}: no records", file=sys.stderr)
+        return 2
+
+    regressions, improvements, skipped, missing = compare(
+        baseline, current, args.threshold)
+
+    print(f"bench_compare: {len(baseline)} baseline cells, "
+          f"{len(current)} current cells, threshold {args.threshold:.0%}")
+    for key, base, cur, why in regressions:
+        print(f"  REGRESSION {describe(key)}: "
+              f"{base['mean']} -> {cur['mean']} ({why})")
+    for key, base, cur in improvements:
+        print(f"  improved   {describe(key)}: {base['mean']} -> {cur['mean']}")
+    if missing:
+        print(f"  {len(missing)} baseline cell(s) missing from current run")
+    if skipped:
+        print(f"  {len(skipped)} cell(s) informational-only (not compared)")
+    if regressions:
+        print(f"bench_compare: {len(regressions)} regression(s) detected")
+        return 0 if args.report_only else 1
+    print("bench_compare: no regressions")
+    return 0
+
+
+def self_test():
+    """Prove the detector on synthetic data: an identical re-run passes and
+    a 30% throughput regression fails, deterministically."""
+    def cell(metric, mean, ci95=0.0, status="ok"):
+        return {"schema_version": 2, "experiment": "fig1", "queue": "mq",
+                "metric": metric, "threads": 4, "mean": mean, "ci95": ci95,
+                "reps": 3, "status": status}
+
+    base = {("fig1", "mq", "throughput_mops", 4):
+            cell("throughput_mops", 10.0, 0.4),
+            ("fig1", "mq", "latency_delete_p99_ns", 4):
+            cell("latency_delete_p99_ns", 900.0, 25.0),
+            ("fig1", "mq", "counter_cas_retry", 4):
+            cell("counter_cas_retry", 123456.0)}
+
+    # 1. Identical re-run: must pass.
+    r, _, skipped, _ = compare(base, dict(base), 0.20)
+    assert not r, f"identical re-run flagged: {r}"
+    assert len(skipped) == 1, "counter cell should be informational-only"
+
+    # 2. 30% throughput drop: must be detected at the default threshold.
+    worse = {k: dict(v) for k, v in base.items()}
+    worse[("fig1", "mq", "throughput_mops", 4)]["mean"] = 7.0
+    r, _, _, _ = compare(base, worse, 0.20)
+    assert len(r) == 1 and r[0][0][2] == "throughput_mops", \
+        f"30% regression not detected: {r}"
+
+    # 3. Same drop inside a huge CI is noise, not a regression.
+    noisy = {k: dict(v) for k, v in base.items()}
+    noisy[("fig1", "mq", "throughput_mops", 4)]["ci95"] = 5.0
+    r, _, _, _ = compare(noisy, worse, 0.20)
+    assert not r, f"noise-band violation: {r}"
+
+    # 4. Latency direction: 30% slower p99 is a regression.
+    slower = {k: dict(v) for k, v in base.items()}
+    slower[("fig1", "mq", "latency_delete_p99_ns", 4)]["mean"] = 1200.0
+    r, _, _, _ = compare(base, slower, 0.20)
+    assert len(r) == 1 and r[0][0][2] == "latency_delete_p99_ns", \
+        f"latency regression not detected: {r}"
+
+    # 5. A previously-ok cell that now reports status=failed regresses.
+    failed = {k: dict(v) for k, v in base.items()}
+    failed[("fig1", "mq", "throughput_mops", 4)]["status"] = "failed"
+    r, _, _, _ = compare(base, failed, 0.20)
+    assert len(r) == 1 and r[0][3] == "cell failed", f"failed cell missed: {r}"
+
+    # 6. "mean": null (schema v2) is skipped, not compared as zero.
+    nullled = {k: dict(v) for k, v in base.items()}
+    nullled[("fig1", "mq", "throughput_mops", 4)]["mean"] = None
+    r, _, skipped, _ = compare(base, nullled, 0.20)
+    assert not r and len(skipped) == 2, f"null mean mishandled: {r} {skipped}"
+
+    print("bench_compare: self-test passed")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Compare cpq bench JSON Lines output against a baseline.")
+    parser.add_argument("baseline", nargs="?", help="baseline JSON Lines file")
+    parser.add_argument("current", nargs="?", help="current JSON Lines file")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="relative regression guard band (default 0.20)")
+    parser.add_argument("--report-only", action="store_true",
+                        help="print the comparison but never exit 1")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in detector self-test and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.print_usage(sys.stderr)
+        return 2
+    if not (0.0 <= args.threshold < 1.0):
+        print("bench_compare: --threshold must be in [0, 1)", file=sys.stderr)
+        return 2
+    return run_compare(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

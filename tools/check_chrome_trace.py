@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by --trace-out.
+
+Checks the structural contract that chrome://tracing and Perfetto rely on
+(JSON Object Format): a top-level object with a "traceEvents" array whose
+entries carry name/ph/pid/tid, instant events carry a numeric non-negative
+"ts" and a scope "s", and metadata events carry an "args" object. Used by
+CI after a short --trace-out run and available to developers as a local
+sanity check.
+
+Usage: tools/check_chrome_trace.py TRACE.json [--min-events N]
+       tools/check_chrome_trace.py --self-test
+Exit codes: 0 = valid, 1 = invalid, 2 = bad invocation / unreadable file.
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_PHASES = {"B", "E", "X", "i", "I", "M", "C", "b", "e", "n", "s", "t",
+                "f"}
+
+
+def fail(msg):
+    print(f"check_chrome_trace: {msg}", file=sys.stderr)
+    return 1
+
+
+def validate(doc, min_events):
+    if not isinstance(doc, dict):
+        return fail("top level must be an object (JSON Object Format)")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail('missing or non-array "traceEvents"')
+
+    op_events = 0
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            return fail(f"{where}: not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                return fail(f"{where}: missing '{key}'")
+        ph = event["ph"]
+        if ph not in KNOWN_PHASES:
+            return fail(f"{where}: unknown phase {ph!r}")
+        if ph == "M":
+            if not isinstance(event.get("args"), dict):
+                return fail(f"{where}: metadata event without args object")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            return fail(f"{where}: bad or missing 'ts': {ts!r}")
+        if ph in ("i", "I") and event.get("s") not in ("g", "p", "t"):
+            return fail(f"{where}: instant event scope 's' must be g/p/t")
+        op_events += 1
+
+    if op_events < min_events:
+        return fail(f"only {op_events} operation event(s), "
+                    f"expected at least {min_events}")
+    print(f"check_chrome_trace: OK — {op_events} operation event(s), "
+          f"{len(events) - op_events} metadata event(s)")
+    return 0
+
+
+def self_test():
+    """Deterministic checks of the validator itself on synthetic documents."""
+    meta = {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+            "args": {"name": "bench worker slice 0"}}
+    insert = {"name": "insert", "ph": "i", "s": "t", "pid": 1, "tid": 1,
+              "ts": 0.0, "args": {"key": 42, "sample_period": 64}}
+    good = {"traceEvents": [meta, insert], "displayTimeUnit": "ns"}
+    checks = [
+        ("valid doc passes", validate(good, 1), 0),
+        ("min-events enforced", validate(good, 2), 1),
+        ("empty doc passes with min 0", validate({"traceEvents": []}, 0), 0),
+        ("top-level array rejected", validate([insert], 0), 1),
+        ("missing tid rejected",
+         validate({"traceEvents": [{"name": "x", "ph": "i", "pid": 1,
+                                    "s": "t", "ts": 1}]}, 0), 1),
+        ("negative ts rejected",
+         validate({"traceEvents": [dict(insert, ts=-1.0)]}, 0), 1),
+        ("bad instant scope rejected",
+         validate({"traceEvents": [dict(insert, s="q")]}, 0), 1),
+        ("metadata without args rejected",
+         validate({"traceEvents": [{"name": "thread_name", "ph": "M",
+                                    "pid": 1, "tid": 1}]}, 0), 1),
+    ]
+    failed = [name for name, got, want in checks if got != want]
+    for name in failed:
+        print(f"self-test FAILED: {name}", file=sys.stderr)
+    if not failed:
+        print(f"check_chrome_trace: self-test OK ({len(checks)} checks)")
+    return 1 if failed else 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Validate --trace-out Chrome trace-event JSON.")
+    parser.add_argument("trace", nargs="?", help="trace JSON file")
+    parser.add_argument("--min-events", type=int, default=0,
+                        help="fail unless at least N operation events")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run built-in validator checks and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if args.trace is None:
+        parser.error("trace file required unless --self-test")
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as err:
+        print(f"check_chrome_trace: {err}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as err:
+        return fail(f"{args.trace}: not valid JSON: {err}")
+    return validate(doc, args.min_events)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
