@@ -266,6 +266,9 @@ inline bool service_table(const std::string& label,
                 "threads", columns);
   Table latency(label + " — delete_min latency [ns] p50/p99 raw -> service",
                 "threads", columns);
+  Table overload(label + " — sojourn p99 [us] raw -> service"
+                         " (shed/reroutes/trips)",
+                 "threads", columns);
   bool conserved = true;
   for (unsigned threads : options.thread_ladder) {
     cfg.producers = (threads + 1) / 2;
@@ -275,6 +278,7 @@ inline bool service_table(const std::string& label,
     std::vector<std::string> tcells;
     std::vector<std::string> qcells;
     std::vector<std::string> lcells;
+    std::vector<std::string> ocells;
     for (const QueueSpec* spec : roster) {
       metrics_cell_begin(spec, total);
       const ServiceComparison comparison = spec->service_bench(cfg);
@@ -295,6 +299,22 @@ inline bool service_table(const std::string& label,
                     raw_lat.p50_ns, raw_lat.p99_ns, svc_lat.p50_ns,
                     svc_lat.p99_ns);
       lcells.emplace_back(buf);
+      const double raw_sojourn_p99 =
+          comparison.raw.sojourn_ns.count() > 0
+              ? comparison.raw.sojourn_ns.quantile(0.99)
+              : 0.0;
+      const double svc_sojourn_p99 =
+          comparison.service.sojourn_ns.count() > 0
+              ? comparison.service.sojourn_ns.quantile(0.99)
+              : 0.0;
+      const service::ServiceStats& sstats = comparison.service.stats;
+      std::snprintf(buf, sizeof(buf),
+                    "%.0f -> %.0f (%llu/%llu/%llu)", raw_sojourn_p99 / 1e3,
+                    svc_sojourn_p99 / 1e3,
+                    static_cast<unsigned long long>(sstats.shed_deadline),
+                    static_cast<unsigned long long>(sstats.reroutes),
+                    static_cast<unsigned long long>(sstats.breaker_trips));
+      ocells.emplace_back(buf);
       JsonSink::instance().record({label, spec->name, "raw_tasks_per_s",
                                    total, comparison.raw.delivered_per_s,
                                    0.0, 1});
@@ -311,6 +331,25 @@ inline bool service_table(const std::string& label,
       JsonSink::instance().record({label, spec->name,
                                    "service_delete_p99_ns", total,
                                    svc_lat.p99_ns, 0.0, 1});
+      JsonSink::instance().record({label, spec->name,
+                                   "service_sojourn_p99_ns", total,
+                                   svc_sojourn_p99, 0.0, 1});
+      JsonSink::instance().record({label, spec->name, "service_shed_total",
+                                   total,
+                                   static_cast<double>(sstats.shed_deadline),
+                                   0.0, 1});
+      JsonSink::instance().record({label, spec->name,
+                                   "service_tier_rejected", total,
+                                   static_cast<double>(sstats.tier_rejected),
+                                   0.0, 1});
+      JsonSink::instance().record({label, spec->name, "service_reroutes",
+                                   total,
+                                   static_cast<double>(sstats.reroutes), 0.0,
+                                   1});
+      JsonSink::instance().record({label, spec->name,
+                                   "service_breaker_trips", total,
+                                   static_cast<double>(sstats.breaker_trips),
+                                   0.0, 1});
       metrics_cell_report(label, spec->name, total);
       if (cfg.checked) {
         for (const service::ServiceBenchResult* result :
@@ -328,10 +367,12 @@ inline bool service_table(const std::string& label,
     throughput.add_row(std::to_string(total), std::move(tcells));
     quality.add_row(std::to_string(total), std::move(qcells));
     latency.add_row(std::to_string(total), std::move(lcells));
+    overload.add_row(std::to_string(total), std::move(ocells));
   }
   throughput.print();
   quality.print();
   latency.print();
+  overload.print();
   return conserved;
 }
 

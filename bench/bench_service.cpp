@@ -5,24 +5,58 @@
 // raw queue handles, once through the sharded/batched PriorityService. Each
 // thread-ladder entry is split into producers (open-loop submitters whose
 // arrival schedule is independent of completions) and consumers (dequeue
-// loops). Reported per cell: delivered tasks/s and the median
-// completion-rank error, raw -> service, so the cost/benefit of the
-// dispatch layer is visible per queue.
+// loops). Reported per cell: delivered tasks/s, the median completion-rank
+// error, delete_min latency, and the overload picture — sojourn p99 plus
+// shed/reroute/breaker counters — raw -> service per queue.
 //
 // Env knobs on top of the usual CPQ_* set:
-//   CPQ_ARRIVAL_HZ   offered load per producer (tasks/s, 0 = closed loop)
-//   CPQ_CHECKED=1    wrap every queue in validation::CheckedQueue and fail
-//                    (exit 1) on any conservation violation — combine with
-//                    a -DCPQ_FAULT_INJECTION=ON build and CPQ_INJECT_PPM to
-//                    torture the service layer end to end
+//   CPQ_ARRIVAL_HZ       offered load per producer (tasks/s, 0 = closed loop)
+//   CPQ_CHECKED=1        wrap every queue in validation::CheckedQueue and
+//                        fail (exit 1) on any conservation violation —
+//                        combine with a -DCPQ_FAULT_INJECTION=ON build and
+//                        CPQ_INJECT_PPM to torture the service end to end
+//   CPQ_TTL_US           task time-to-live; expired tasks are shed at pop
+//   CPQ_MAX_IN_FLIGHT    admission bound (0 = unbounded)
+//   CPQ_POLICY           block | reject | tiered (admission under pressure)
+//   CPQ_TIERS            priority tiers for the tiered policy (default 4)
+//   CPQ_BREAKER_TRIP_US  per-shard circuit-breaker trip latency (0 = off)
+//   CPQ_RETRY_LIMIT      submit_with_retry attempt cap
+//
+// Chaos mode (the only argv mode):
+//   bench_service --chaos=FILE [--queue=glock|mq]
+// runs the declarative fault campaign in FILE (see src/validation/chaos.hpp
+// for the format) instead of the sweep, and exits 0/1/2 per
+// bench/chaos_driver.hpp.
 
 #include <cstdlib>
+#include <cstring>
 
 #include "bench_common.hpp"
+#include "chaos_driver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cpq::bench;
+
+  std::string chaos_file;
+  std::string chaos_queue = "mq";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--chaos=", 8) == 0) {
+      chaos_file = arg + 8;
+    } else if (std::strncmp(arg, "--queue=", 8) == 0) {
+      chaos_queue = arg + 8;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_service [--chaos=FILE [--queue=glock|mq]]\n");
+      return 2;
+    }
+  }
+
   const Options options = options_from_env();
+  if (!chaos_file.empty()) {
+    return run_chaos_from_file(chaos_file, chaos_queue, options.seed);
+  }
+
   print_bench_header("bench_service",
                      "open-loop Poisson dispatch, raw vs PriorityService",
                      options);
@@ -38,6 +72,37 @@ int main() {
   }
   if (const char* checked = std::getenv("CPQ_CHECKED")) {
     cfg.checked = checked[0] != '\0' && checked[0] != '0';
+  }
+  if (const char* ttl = std::getenv("CPQ_TTL_US")) {
+    cfg.service.ttl_us = std::strtoull(ttl, nullptr, 10);
+  }
+  if (const char* mif = std::getenv("CPQ_MAX_IN_FLIGHT")) {
+    cfg.service.max_in_flight = std::strtoull(mif, nullptr, 10);
+  }
+  if (const char* policy = std::getenv("CPQ_POLICY")) {
+    if (std::strcmp(policy, "block") == 0) {
+      cfg.service.policy = cpq::service::AdmissionPolicy::kBlock;
+    } else if (std::strcmp(policy, "reject") == 0) {
+      cfg.service.policy = cpq::service::AdmissionPolicy::kReject;
+    } else if (std::strcmp(policy, "tiered") == 0) {
+      cfg.service.policy = cpq::service::AdmissionPolicy::kTiered;
+    } else {
+      std::fprintf(stderr,
+                   "CPQ_POLICY must be block, reject, or tiered (got %s)\n",
+                   policy);
+      return 2;
+    }
+  }
+  if (const char* tiers = std::getenv("CPQ_TIERS")) {
+    cfg.service.tiers =
+        static_cast<unsigned>(std::strtoul(tiers, nullptr, 10));
+  }
+  if (const char* trip = std::getenv("CPQ_BREAKER_TRIP_US")) {
+    cfg.service.breaker_trip_us = std::strtoull(trip, nullptr, 10);
+  }
+  if (const char* retries = std::getenv("CPQ_RETRY_LIMIT")) {
+    cfg.service.retry_limit =
+        static_cast<unsigned>(std::strtoul(retries, nullptr, 10));
   }
 
   return service_table("service", cfg, options, roster_from_env()) ? 0 : 1;

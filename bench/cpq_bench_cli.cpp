@@ -30,6 +30,11 @@
 //                             run end (the watchdog already dumps on stall)
 //   --force-stall             deliberately trip the progress watchdog and
 //                             exit 86 (exercises the stall-dump path)
+//   --chaos=FILE              run the declarative chaos campaign in FILE
+//                             against a PriorityService (--queues picks the
+//                             shard queue: glock or mq, default mq) and exit
+//                             0 ok / 1 assertions failed / 2 usage — see
+//                             src/validation/chaos.hpp for the file format
 //   --list                    print queues and benchmark modes, then exit
 //
 // Defaults reproduce a quick Fig.-1-style run. CPQ_* environment variables
@@ -48,6 +53,7 @@
 
 #include "bench_common.hpp"
 #include "bench_framework/latency.hpp"
+#include "chaos_driver.hpp"
 #include "obs/chrome_trace.hpp"
 
 namespace {
@@ -124,7 +130,7 @@ int usage(const char* argv0) {
                "          [--arrival-hz=N] [--checked] [--json[=path]] "
                "[--metrics]\n"
                "          [--trace-out=FILE] [--dump-traces] "
-               "[--force-stall] [--list]\n",
+               "[--force-stall] [--chaos=FILE] [--list]\n",
                argv0);
   return 2;
 }
@@ -191,6 +197,7 @@ int main(int argc, char** argv) {
   bool checked = false;
   bool dump_traces = false;
   std::string trace_out;
+  std::string chaos_file;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -226,6 +233,11 @@ int main(int argc, char** argv) {
         return bad_value("--trace-out", value, "want a file path");
       }
       trace_out = value;
+    } else if (parse_flag(argv[i], "--chaos", value)) {
+      if (value.empty()) {
+        return bad_value("--chaos", value, "want a schedule file path");
+      }
+      chaos_file = value;
     } else if (parse_flag(argv[i], "--arrival-hz", value)) {
       if (!parse_double(value, arrival_hz) || arrival_hz < 0.0) {
         return bad_value("--arrival-hz", value, "want a rate >= 0");
@@ -307,6 +319,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "no known queue in --queues=%s (try --list)\n",
                  queues.c_str());
     return 2;
+  }
+
+  if (!chaos_file.empty()) {
+    // Chaos mode replaces the sweep entirely. The shard queue comes from
+    // --queues when it names a chaos-capable engine; mq otherwise.
+    std::string chaos_queue = "mq";
+    if (!roster.empty() &&
+        (roster.front()->name == "glock" || roster.front()->name == "mq")) {
+      chaos_queue = roster.front()->name;
+    }
+    return run_chaos_from_file(chaos_file, chaos_queue, options.seed);
   }
 
   print_bench_header("cpq_bench_cli", "parameterizable benchmark (§F)",

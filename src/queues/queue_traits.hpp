@@ -41,9 +41,17 @@ namespace cpq {
 using bench_key = std::uint64_t;
 using bench_value = std::uint64_t;
 
+// insert() is void for plain queues; admission-controlled engines
+// (PriorityService) return bool to report acceptance. Both satisfy the
+// handle concept — callers that care probe the return type with requires.
 template <typename H, typename K, typename V>
 concept PriorityQueueHandle = requires(H h, K k, V v, K& kr, V& vr) {
-  { h.insert(k, v) } -> std::same_as<void>;
+  requires(requires {
+            { h.insert(k, v) } -> std::same_as<void>;
+          } ||
+           requires {
+             { h.insert(k, v) } -> std::same_as<bool>;
+           });
   { h.delete_min(kr, vr) } -> std::same_as<bool>;
 };
 

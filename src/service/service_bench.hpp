@@ -30,6 +30,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -84,6 +85,12 @@ struct ServiceBenchResult {
   // (empty polls are excluded: at low arrival rates they would drown the
   // delivery latencies the table reports). Filled when cfg.measure_latency.
   obs::LogHistogram delete_ns;
+  // Submit-to-delivery sojourn per task, nanoseconds, matched through the
+  // quality logs' unique item ids. Filled when cfg.measure_quality. This is
+  // the latency that overload actually inflates: under arrival > service
+  // rate it grows without bound unless deadline shedding caps it.
+  obs::LogHistogram sojourn_ns;
+  std::uint64_t shed = 0;  // tasks dropped past their deadline (service)
   ServiceStats stats;           // zeroed for raw-queue runs
   bool conservation_ok = true;  // meaningful when cfg.checked
   std::string conservation_report;
@@ -166,11 +173,25 @@ void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
           }
           const std::uint64_t key = gen.next();
           const std::uint64_t id = bench::detail::item_id(tid, counter++);
-          handle.insert(key, id);
-          if (cfg.measure_quality) {
-            log.push_back({fast_timestamp(), key, id, true});
+          // Acceptance-aware submission: a service handle reports whether
+          // the task was admitted (a close() racing the final insert of the
+          // run rejects it); rejected tasks must not be logged or counted
+          // as submitted or they surface as phantom losses downstream.
+          bool accepted = true;
+          if constexpr (requires {
+                          { handle.insert(key, id) }
+                              -> std::convertible_to<bool>;
+                        }) {
+            accepted = handle.insert(key, id);
+          } else {
+            handle.insert(key, id);
           }
-          ++submitted[tid].value;
+          if (accepted) {
+            if (cfg.measure_quality) {
+              log.push_back({fast_timestamp(), key, id, true});
+            }
+            ++submitted[tid].value;
+          }
           progress[tid].tick(submitted[tid].value,
                              validation::LastOp::kInsert);
           CPQ_TRACE_OP(submitted[tid].value, ::cpq::obs::TraceOp::kInsert,
@@ -215,6 +236,14 @@ void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
   std::this_thread::sleep_for(std::chrono::duration<double>(cfg.duration_s));
   stop.store(true, std::memory_order_release);
   const double elapsed = watch.elapsed_seconds();
+  // A producer can be parked inside a blocking insert() on a full in-flight
+  // window at this point, with every consumer about to exit — nobody will
+  // release a slot, so join() would deadlock. Closing a closable engine
+  // wakes those submitters (their final insert reports rejection, which the
+  // producer loop discounts above).
+  if constexpr (requires { engine.close(); }) {
+    engine.close();
+  }
   for (auto& t : team) t.join();
   watchdog.stop();
 
@@ -224,13 +253,35 @@ void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
   }
   obs::MetricsRegistry::global().add_cell_ops(result.submitted +
                                               result.delivered);
+  const double ns_per_tick = static_cast<double>(calibration.elapsed_ns()) /
+                             static_cast<double>(fast_timestamp() - tsc0);
   if (cfg.measure_latency) {
-    const double ns_per_tick =
-        static_cast<double>(calibration.elapsed_ns()) /
-        static_cast<double>(fast_timestamp() - tsc0);
     for (unsigned tid = cfg.producers; tid < threads; ++tid) {
       result.delete_ns.add_scaled(delete_ticks[tid], ns_per_tick);
     }
+  }
+  if (cfg.measure_quality) {
+    // Sojourn latency: match every delivery to its submission timestamp by
+    // item id (ids are unique across threads and the prefill).
+    std::unordered_map<std::uint64_t, std::uint64_t> submitted_at;
+    submitted_at.reserve(result.submitted + cfg.prefill);
+    for (const auto& log : logs) {
+      for (const bench::OpLogEntry& entry : log) {
+        if (entry.is_insert) submitted_at.emplace(entry.id, entry.timestamp);
+      }
+    }
+    obs::LogHistogram sojourn_ticks;
+    for (const auto& log : logs) {
+      for (const bench::OpLogEntry& entry : log) {
+        if (entry.is_insert) continue;
+        const auto it = submitted_at.find(entry.id);
+        if (it == submitted_at.end() || entry.timestamp <= it->second) {
+          continue;
+        }
+        sojourn_ticks.record(entry.timestamp - it->second);
+      }
+    }
+    result.sojourn_ns.add_scaled(sojourn_ticks, ns_per_tick);
   }
   result.offered_per_s = static_cast<double>(result.submitted) / elapsed;
   result.delivered_per_s = static_cast<double>(result.delivered) / elapsed;
@@ -302,10 +353,19 @@ ServiceBenchResult run_open_loop_service(Factory&& make_queue,
     detail::open_loop_run(
         checked, cfg, [&service](std::FILE* out) { service.dump_stats(out); },
         logs, result);
-    result.stats = service.stats();
+    // reconcile() drains through a service handle, which can still shed
+    // expired tasks — harvest stats after it so `shed` covers the drain too.
     const validation::ReconcileReport report = checked.reconcile();
-    result.conservation_ok = report.ok();
-    result.conservation_report = report.to_string();
+    result.stats = service.stats();
+    result.shed = result.stats.shed_deadline;
+    // Deadline-shed tasks were accepted and then deliberately dropped, so
+    // they appear as `lost` in the diff; conservation holds exactly when
+    // every lost item is accounted for by a shed.
+    result.conservation_ok = report.duplicated == 0 &&
+                             report.fabricated == 0 &&
+                             report.lost == result.shed;
+    result.conservation_report =
+        report.to_string() + " shed=" + std::to_string(result.shed);
     result.drained = report.drained;
   } else {
     auto service = make_service();
@@ -313,9 +373,10 @@ ServiceBenchResult run_open_loop_service(Factory&& make_queue,
     detail::open_loop_run(
         *service, cfg, [&ref](std::FILE* out) { ref.dump_stats(out); }, logs,
         result);
-    result.stats = service->stats();
     service->close();
     result.drained = service->drain([](std::uint64_t, std::uint64_t) {});
+    result.stats = service->stats();
+    result.shed = result.stats.shed_deadline;
   }
   if (cfg.measure_quality) detail::score_quality(logs, result);
   return result;

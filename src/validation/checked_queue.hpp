@@ -85,8 +85,32 @@ class CheckedQueue {
   class Handle {
    public:
     void insert(key_type key, value_type value) {
-      tally_->inserted.emplace_back(key, value);
-      inner_.insert(key, value);
+      // Some wrapped handles (PriorityService) report acceptance from
+      // insert(); a rejected submission (service closed mid-insert) must
+      // not enter the tally or it shows up as a false `lost`.
+      if constexpr (requires {
+                      { inner_.insert(key, value) } -> std::convertible_to<bool>;
+                    }) {
+        if (inner_.insert(key, value)) {
+          tally_->inserted.emplace_back(key, value);
+        }
+      } else {
+        tally_->inserted.emplace_back(key, value);
+        inner_.insert(key, value);
+      }
+    }
+
+    // Policy-honouring submission passthrough (only when the wrapped handle
+    // offers one, e.g. PriorityService::Handle). Records the insert only on
+    // acceptance, and records nothing when the inner call throws — so
+    // admission rejections and injected submit faults never skew the
+    // conservation diff.
+    template <typename H = InnerHandle>
+    auto try_submit(key_type key, value_type value)
+        -> decltype(std::declval<H&>().try_submit(key, value)) {
+      const bool accepted = inner_.try_submit(key, value);
+      if (accepted) tally_->inserted.emplace_back(key, value);
+      return accepted;
     }
 
     bool delete_min(key_type& key_out, value_type& value_out) {
@@ -112,6 +136,14 @@ class CheckedQueue {
                   &tallies_[thread_id].value);
   }
 
+  // Close passthrough (only when the wrapped queue is closable, e.g.
+  // PriorityService): lets harnesses wake submitters parked on an admission
+  // bound at shutdown without reaching around the checker.
+  template <typename T = Q>
+  auto close() -> decltype(std::declval<T&>().close()) {
+    return inner_->close();
+  }
+
   // Drain the wrapped queue through thread-0's handle and diff the multisets.
   // Relaxed queues may report transient emptiness, so the drain re-polls
   // generously before believing an empty answer.
@@ -128,6 +160,12 @@ class CheckedQueue {
           out.emplace_back(key, value);
           misses = 0;
         } else {
+          // A deadline-shedding service handle reports false while it is
+          // still chewing through an expired backlog; that is progress
+          // (the sheds are accounted elsewhere), not emptiness.
+          if constexpr (requires { handle.last_pop_shed(); }) {
+            if (handle.last_pop_shed() > 0) continue;
+          }
           ++misses;
         }
       }

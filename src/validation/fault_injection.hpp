@@ -36,6 +36,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -63,6 +64,10 @@ struct InjectionState {
   std::atomic<std::uint32_t> ppm{0};
   std::atomic<std::uint64_t> seed{42};
   std::atomic<std::uint8_t> action{0};  // FaultAction
+  // Substring a site name must contain for the hook to fire; nullptr = all
+  // sites. The pointed-to string is intentionally leaked on reconfiguration
+  // so racing readers never observe a freed buffer.
+  std::atomic<const char*> site_filter{nullptr};
   // Bumped by configure(); threads reseed their stream on the next crossing.
   std::atomic<std::uint64_t> generation{1};
   std::atomic<std::uint64_t> fired{0};
@@ -80,21 +85,34 @@ inline InjectionState& injection_state() {
       state.seed.store(std::strtoull(seed, nullptr, 10),
                        std::memory_order_relaxed);
     }
+    if (const char* sites = std::getenv("CPQ_INJECT_SITES")) {
+      if (sites[0] != '\0') {
+        state.site_filter.store(strdup(sites), std::memory_order_release);
+      }
+    }
     return true;
   }();
   (void)env_loaded;
   return state;
 }
 
-// Override the environment configuration (tests). ppm = firings per million
-// hook crossings; 0 disables.
+// Override the environment configuration (tests, chaos campaigns). ppm =
+// firings per million hook crossings; 0 disables. site_filter restricts
+// firing to sites whose name contains the given substring (e.g. "ebr" or
+// "service/submit"); nullptr or "" fires at every site. Each call replaces
+// the previous filter (the old string is leaked — reconfiguration is a rare,
+// test-only event and racing crossings must never read freed memory).
 inline void fault_injection_configure(std::uint32_t ppm, std::uint64_t seed,
-                                      FaultAction action =
-                                          FaultAction::kDelay) {
+                                      FaultAction action = FaultAction::kDelay,
+                                      const char* site_filter = nullptr) {
   InjectionState& state = injection_state();
   state.seed.store(seed, std::memory_order_relaxed);
   state.action.store(static_cast<std::uint8_t>(action),
                      std::memory_order_relaxed);
+  state.site_filter.store(
+      site_filter != nullptr && site_filter[0] != '\0' ? strdup(site_filter)
+                                                       : nullptr,
+      std::memory_order_release);
   state.ppm.store(ppm, std::memory_order_relaxed);
   state.generation.fetch_add(1, std::memory_order_acq_rel);
 }
@@ -139,6 +157,10 @@ inline void inject_point(const char* site) {
   InjectionState& state = injection_state();
   const std::uint32_t ppm = state.ppm.load(std::memory_order_relaxed);
   if (ppm == 0) return;
+  if (const char* filter =
+          state.site_filter.load(std::memory_order_acquire)) {
+    if (std::strstr(site, filter) == nullptr) return;
+  }
   const std::uint64_t tindex = injection_thread_index();
   if (tindex < kMaxTrackedThreads) {
     last_sites()[tindex].store(site, std::memory_order_relaxed);

@@ -29,6 +29,10 @@
 
 #include "platform/cache.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 namespace cpq::validation {
 
 // Distinct exit code for watchdog aborts (not used by gtest, sanitizers, or
@@ -62,6 +66,36 @@ struct alignas(kCacheLineSize) WorkerProgress {
     last_op.store(static_cast<std::uint8_t>(op), std::memory_order_relaxed);
   }
 };
+
+inline int stall_dump_pid() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<int>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+// Unique stall-dump file path under `dir`. Several bench processes (and
+// several watchdogs within one process — e.g. one per repetition) may dump
+// concurrently into a shared directory, so the name carries both the pid and
+// a process-wide monotonic counter: two dumps can never collide on a name.
+inline std::string stall_dump_path(const std::string& dir,
+                                   const std::string& label) {
+  static std::atomic<unsigned> counter{0};
+  std::string sanitized;
+  sanitized.reserve(label.size());
+  for (const char c : label) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                      c == '.';
+    sanitized.push_back(keep ? c : '_');
+  }
+  if (sanitized.empty()) sanitized = "unnamed";
+  return dir + "/stall_" + sanitized + "_" +
+         std::to_string(stall_dump_pid()) + "_" +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed)) +
+         ".txt";
+}
 
 // Resolve the effective deadline: an explicit non-negative override wins,
 // otherwise CPQ_WATCHDOG_S, otherwise the fallback. 0 disables supervision.
@@ -157,19 +191,38 @@ class Watchdog {
     }
   }
 
-  [[noreturn]] void dump_and_abort(double stalled_s) const {
-    std::fprintf(stderr,
+  void dump_to(std::FILE* out, double stalled_s) const {
+    std::fprintf(out,
                  "[cpq-watchdog] no progress on '%s' for %.1f s "
                  "(deadline %.1f s, %zu workers) — aborting\n",
                  label_.c_str(), stalled_s, deadline_s_, count_);
     for (std::size_t i = 0; i < count_; ++i) {
       std::fprintf(
-          stderr, "[cpq-watchdog]   thread %zu: %llu ops, last op: %s\n", i,
+          out, "[cpq-watchdog]   thread %zu: %llu ops, last op: %s\n", i,
           static_cast<unsigned long long>(
               workers_[i].ops.load(std::memory_order_relaxed)),
           last_op_name(workers_[i].last_op.load(std::memory_order_relaxed)));
     }
-    if (diagnostics_) diagnostics_(stderr);
+    if (diagnostics_) diagnostics_(out);
+  }
+
+  [[noreturn]] void dump_and_abort(double stalled_s) const {
+    dump_to(stderr, stalled_s);
+    // Persist the dump when CPQ_STALL_DUMP_DIR is set (CI keeps these as
+    // artifacts); the pid+counter suffix makes concurrent dumps safe.
+    if (const char* dir = std::getenv("CPQ_STALL_DUMP_DIR")) {
+      const std::string path = stall_dump_path(dir, label_);
+      if (std::FILE* file = std::fopen(path.c_str(), "w")) {
+        dump_to(file, stalled_s);
+        std::fclose(file);
+        std::fprintf(stderr, "[cpq-watchdog] stall dump written to %s\n",
+                     path.c_str());
+      } else {
+        std::fprintf(stderr,
+                     "[cpq-watchdog] could not write stall dump to %s\n",
+                     path.c_str());
+      }
+    }
     std::fflush(stderr);
     std::_Exit(kWatchdogExitCode);
   }

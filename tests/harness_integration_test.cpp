@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -390,18 +392,30 @@ TEST(BenchCli, ServiceModeEmitsServiceMetrics) {
               out),
       0);
   const std::vector<JsonRecord> records = parse_json_lines(out);
-  ASSERT_EQ(records.size(), 5u);
+  ASSERT_EQ(records.size(), 10u);
   EXPECT_EQ(records[0].metric, "raw_tasks_per_s");
   EXPECT_EQ(records[1].metric, "service_tasks_per_s");
   EXPECT_EQ(records[2].metric, "service_rank_error_median");
   EXPECT_EQ(records[3].metric, "service_delete_p50_ns");
   EXPECT_EQ(records[4].metric, "service_delete_p99_ns");
+  EXPECT_EQ(records[5].metric, "service_sojourn_p99_ns");
+  EXPECT_EQ(records[6].metric, "service_shed_total");
+  EXPECT_EQ(records[7].metric, "service_tier_rejected");
+  EXPECT_EQ(records[8].metric, "service_reroutes");
+  EXPECT_EQ(records[9].metric, "service_breaker_trips");
   EXPECT_GT(records[0].mean, 0.0);
   EXPECT_GT(records[1].mean, 0.0);
   EXPECT_GT(records[3].mean, 0.0);
   EXPECT_GE(records[4].mean, records[3].mean);
+  EXPECT_GT(records[5].mean, 0.0);
+  // No ttl/breaker configured: the overload counters exist but stay zero.
+  EXPECT_EQ(records[6].mean, 0.0);
+  EXPECT_EQ(records[9].mean, 0.0);
   // The latency table (third table of service mode) made it to stdout.
   EXPECT_NE(out.find("delete_min latency [ns] p50/p99 raw -> service"),
+            std::string::npos);
+  // And the overload table (fourth) with its shed/reroute/trip triple.
+  EXPECT_NE(out.find("sojourn p99 [us] raw -> service (shed/reroutes/trips)"),
             std::string::npos);
 }
 
@@ -551,6 +565,35 @@ TEST(BenchCli, ForceStallDumpsMetricsAndTracesAndExits86) {
   EXPECT_NE(out.find("backoff_pause=7"), std::string::npos) << out;
   EXPECT_NE(out.find("sampled ops, newest first"), std::string::npos) << out;
   EXPECT_NE(out.find("insert"), std::string::npos) << out;
+}
+
+// With CPQ_STALL_DUMP_DIR set, each stalled process must persist its dump
+// under a collision-free name (label + pid + counter): two back-to-back
+// stalls into one directory leave two distinct files.
+TEST(BenchCli, StallDumpFilesNeverCollide) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("cpq_stall_dumps_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  ASSERT_TRUE(fs::create_directory(dir));
+  for (int round = 0; round < 2; ++round) {
+    std::string out;
+    EXPECT_EQ(run_cli_merged("--force-stall", out,
+                             "CPQ_WATCHDOG_S=0.4 CPQ_STALL_DUMP_DIR=" +
+                                 dir.string()),
+              86);
+    EXPECT_NE(out.find("stall dump written to"), std::string::npos) << out;
+  }
+  std::vector<std::string> dumps;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_EQ(name.rfind("stall_force-stall_", 0), 0u) << name;
+    EXPECT_GT(fs::file_size(entry.path()), 0u) << name;
+    dumps.push_back(name);
+  }
+  EXPECT_EQ(dumps.size(), 2u);
+  fs::remove_all(dir);
 }
 
 }  // namespace
