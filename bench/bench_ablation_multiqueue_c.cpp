@@ -45,24 +45,30 @@ int main() {
     cfg.threads = threads;
     std::vector<std::string> tput_cells;
     std::vector<std::string> rank_cells;
-    for (unsigned c : cs) {
-      const auto factory = [c](unsigned t, std::uint64_t seed) {
-        return std::make_unique<BinaryMq>(t, c, seed);
-      };
+    // Each cell also lands in the CPQ_JSON sink so the ablation grid is
+    // machine-comparable like every other bench.
+    auto run_cell = [&](const std::string& column, auto factory) {
       const ThroughputResult tr = run_throughput(factory, cfg);
       tput_cells.push_back(Table::format_mean_ci(tr.mops.mean, tr.mops.ci95));
+      JsonSink::instance().record(
+          {"ablation-mq-c", column, "throughput_mops", threads, tr.mops.mean,
+           tr.mops.ci95, static_cast<unsigned>(tr.per_rep.size())});
       const QualityResult qr = run_quality(factory, cfg);
       rank_cells.push_back(
           Table::format_mean_std(qr.rank_error.mean, qr.rank_error.stddev));
-    }
-    const auto pairing_factory = [](unsigned t, std::uint64_t seed) {
-      return std::make_unique<PairingMq>(t, 4, seed);
+      JsonSink::instance().record({"ablation-mq-c", column, "rank_error_mean",
+                                   threads, qr.rank_error.mean,
+                                   qr.rank_error.ci95, qr.completed_reps});
     };
-    const ThroughputResult tr = run_throughput(pairing_factory, cfg);
-    tput_cells.push_back(Table::format_mean_ci(tr.mops.mean, tr.mops.ci95));
-    const QualityResult qr = run_quality(pairing_factory, cfg);
-    rank_cells.push_back(
-        Table::format_mean_std(qr.rank_error.mean, qr.rank_error.stddev));
+    for (unsigned c : cs) {
+      run_cell("mq-c" + std::to_string(c),
+               [c](unsigned t, std::uint64_t seed) {
+                 return std::make_unique<BinaryMq>(t, c, seed);
+               });
+    }
+    run_cell("mq-c4-pairing", [](unsigned t, std::uint64_t seed) {
+      return std::make_unique<PairingMq>(t, 4, seed);
+    });
 
     tput.add_row(std::to_string(threads), std::move(tput_cells));
     rank.add_row(std::to_string(threads), std::move(rank_cells));

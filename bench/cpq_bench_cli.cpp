@@ -15,6 +15,12 @@
 //   --reps=3
 //   --seed=42
 //   --mode=throughput|quality|latency|sort|service
+//   --mq-c=N                  engineered-MultiQueue queues per thread
+//                             (mq-buf/mq-sticky/mq-eng; 1..64, default 4;
+//                             the paper's mq stays pinned at c=4)
+//   --mq-sticky=N             sticky round length (1..4096, default 8)
+//   --mq-buf=N                insertion/deletion buffer capacity
+//                             (0..1024, default 16)
 //   --arrival-hz=N            offered load per producer (service mode;
 //                             0 = closed loop)
 //   --checked                 wrap service-mode queues in CheckedQueue
@@ -127,6 +133,7 @@ int usage(const char* argv0) {
                "[--threads=1,2,4]\n"
                "          [--ms=N] [--ops=N] [--reps=N] [--seed=N]\n"
                "          [--mode=throughput|quality|latency|sort|service]\n"
+               "          [--mq-c=N] [--mq-sticky=N] [--mq-buf=N]\n"
                "          [--arrival-hz=N] [--checked] [--json[=path]] "
                "[--metrics]\n"
                "          [--trace-out=FILE] [--dump-traces] "
@@ -145,6 +152,15 @@ int list_registry() {
   for (const BenchModeSpec& mode : bench_mode_registry()) {
     std::printf("  %-12s %s\n", mode.name.c_str(), mode.description.c_str());
   }
+  const MqTuning& tuning = mq_tuning();
+  std::printf("engineered MultiQueue knobs (mq-buf/mq-sticky/mq-eng):\n");
+  std::printf("  %-14s queues per thread (1..64, default %u)\n", "--mq-c=N",
+              tuning.c);
+  std::printf("  %-14s sticky round length (1..4096, default %u)\n",
+              "--mq-sticky=N", tuning.stickiness);
+  std::printf(
+      "  %-14s insertion/deletion buffer capacity (0..1024, default %u)\n",
+      "--mq-buf=N", tuning.buffer);
   return 0;
 }
 
@@ -295,6 +311,25 @@ int main(int argc, char** argv) {
       if (!parse_u64(value, options.seed)) {
         return bad_value("--seed", value, "want an unsigned integer");
       }
+    } else if (parse_flag(argv[i], "--mq-c", value)) {
+      std::uint64_t c = 0;
+      if (!parse_u64(value, c) || c < 1 || c > 64) {
+        return bad_value("--mq-c", value, "want an integer 1 .. 64");
+      }
+      mq_tuning().c = static_cast<unsigned>(c);
+    } else if (parse_flag(argv[i], "--mq-sticky", value)) {
+      std::uint64_t stickiness = 0;
+      if (!parse_u64(value, stickiness) || stickiness < 1 ||
+          stickiness > 4096) {
+        return bad_value("--mq-sticky", value, "want an integer 1 .. 4096");
+      }
+      mq_tuning().stickiness = static_cast<unsigned>(stickiness);
+    } else if (parse_flag(argv[i], "--mq-buf", value)) {
+      std::uint64_t buffer = 0;
+      if (!parse_u64(value, buffer) || buffer > 1024) {
+        return bad_value("--mq-buf", value, "want an integer 0 .. 1024");
+      }
+      mq_tuning().buffer = static_cast<unsigned>(buffer);
     } else if (parse_flag(argv[i], "--mode", value)) {
       if (find_bench_mode(value) == nullptr) {
         return bad_value("--mode", value, "see --list for benchmark modes");

@@ -50,6 +50,19 @@ struct QueueSpec {
       service_bench;
 };
 
+// Runtime tuning for the engineered MultiQueue variants (mq-buf, mq-sticky,
+// mq-eng). Mutable process-wide singleton: cpq_bench_cli writes it from
+// --mq-c/--mq-sticky/--mq-buf before any cell runs; the registry factories
+// AND the rank-bound lambdas read it when each cell starts, so the soft
+// bound the RankEstimator arms always matches the queues actually built.
+// The paper-roster "mq" (and mq-pairing/mq-dary) stay pinned at c=4.
+struct MqTuning {
+  unsigned c = 4;          // local queues per thread
+  unsigned stickiness = 8; // sticky round length (mq-sticky, mq-eng)
+  unsigned buffer = 16;    // insertion/deletion buffer capacity (mq-buf, mq-eng)
+};
+MqTuning& mq_tuning();
+
 // One benchmark mode of cpq_bench_cli (--mode=<name>), described for
 // --list and validated strictly before any measurement starts.
 struct BenchModeSpec {

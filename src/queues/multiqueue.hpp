@@ -10,7 +10,8 @@
 //
 // The per-queue minimum is mirrored into an atomic so that the two-choice
 // comparison does not need to take locks; it is refreshed by whoever holds
-// the lock.
+// the lock. The locked-queue cell (lock + mirrors + sequential heap) is
+// shared with the engineered generation in multiqueue_eng.hpp.
 #pragma once
 
 #include <atomic>
@@ -29,6 +30,33 @@
 
 namespace cpq {
 
+namespace detail {
+
+// One spinlocked sequential queue with lock-free selection mirrors — the
+// building block of every MultiQueue variant (classic and engineered).
+template <typename Key, typename Value, typename SeqQueue>
+struct MqLocalQueue {
+  // Sentinel mirrored for empty queues; insertions of this exact key still
+  // work (the mirror is a heuristic for queue selection only).
+  static constexpr Key kEmptyKey = std::numeric_limits<Key>::max();
+
+  Spinlock lock;
+  std::atomic<Key> min_mirror{kEmptyKey};
+  // Exact size mirror: the min mirror alone cannot distinguish "empty"
+  // from "holds an item with the maximal key".
+  std::atomic<std::size_t> count{0};
+  SeqQueue pq;
+
+  // Caller holds `lock`.
+  void refresh_min() {
+    min_mirror.store(pq.empty() ? kEmptyKey : pq.min_key(),
+                     std::memory_order_release);
+    count.store(pq.size(), std::memory_order_release);
+  }
+};
+
+}  // namespace detail
+
 template <typename Key, typename Value,
           typename SeqQueue = seq::BinaryHeap<Key, Value>>
 class MultiQueue {
@@ -36,15 +64,22 @@ class MultiQueue {
   using key_type = Key;
   using value_type = Value;
 
-  // Sentinel mirrored for empty queues; insertions of this exact key still
-  // work (the mirror is a heuristic for queue selection only).
-  static constexpr Key kEmptyKey = std::numeric_limits<Key>::max();
+  static constexpr Key kEmptyKey =
+      detail::MqLocalQueue<Key, Value, SeqQueue>::kEmptyKey;
 
   explicit MultiQueue(unsigned max_threads, unsigned c = 4,
                       std::uint64_t seed = 1)
-      : queues_(static_cast<std::size_t>(c) *
+      : queues_(static_cast<std::size_t>(c == 0 ? 1 : c) *
                 (max_threads == 0 ? 1 : max_threads)),
+        c_(c == 0 ? 1 : c),
         seed_(seed) {}
+
+  // Expected-case relaxation self-report (queue_traits.hpp concept): the
+  // classic MultiQueue's observed rank error grows like c*P. Soft — no
+  // worst-case guarantee exists.
+  double soft_rank_bound(unsigned threads) const {
+    return static_cast<double>(c_) * threads;
+  }
 
   class Handle {
    public:
@@ -134,23 +169,10 @@ class MultiQueue {
   }
 
  private:
-  struct LocalQueue {
-    Spinlock lock;
-    std::atomic<Key> min_mirror{kEmptyKey};
-    // Exact size mirror: the min mirror alone cannot distinguish "empty"
-    // from "holds an item with the maximal key".
-    std::atomic<std::size_t> count{0};
-    SeqQueue pq;
-
-    // Caller holds `lock`.
-    void refresh_min() {
-      min_mirror.store(pq.empty() ? kEmptyKey : pq.min_key(),
-                       std::memory_order_release);
-      count.store(pq.size(), std::memory_order_release);
-    }
-  };
+  using LocalQueue = detail::MqLocalQueue<Key, Value, SeqQueue>;
 
   std::vector<CacheAligned<LocalQueue>> queues_;
+  unsigned c_;
   std::uint64_t seed_;
 
   friend class Handle;

@@ -67,4 +67,15 @@ concept ConcurrentPriorityQueue = requires(Q q, unsigned tid) {
                                typename Q::value_type>;
 };
 
+// Relaxed queues whose rank-error bound depends on runtime tuning (the
+// MultiQueue family: c, stickiness, buffer capacities) self-report it as an
+// instance method. The benchmark registry arms the live RankEstimator from
+// this instead of a hard-coded formula, so the reported bound always
+// matches the queue actually constructed (soft unless the queue also has a
+// published worst-case guarantee).
+template <typename Q>
+concept RelaxationSelfReporting = requires(const Q& q, unsigned threads) {
+  { q.soft_rank_bound(threads) } -> std::convertible_to<double>;
+};
+
 }  // namespace cpq

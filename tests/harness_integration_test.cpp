@@ -16,6 +16,7 @@
 
 #include "bench_framework/json_out.hpp"
 #include "bench_framework/registry.hpp"
+#include "queues/multiqueue_eng.hpp"
 
 namespace cpq::bench {
 namespace {
@@ -113,6 +114,44 @@ TEST(Registry, FindAndResolve) {
   EXPECT_EQ(roster[0]->name, "linden");
   EXPECT_EQ(roster[1]->name, "klsm256");
   EXPECT_EQ(resolve_roster("").size(), 7u);
+}
+
+TEST(Registry, EngineeredVariantsSelfReportWidenedSoftBounds) {
+  // The engineered MultiQueues are extensions (the paper roster stays at
+  // seven) whose armed rank bound must come from the queue's own
+  // soft-bound formula under the current mq_tuning(), wider than classic
+  // mq's c*P, and never hard — soft bounds must not count violations.
+  const QueueSpec* mq = find_queue("mq");
+  ASSERT_NE(mq, nullptr);
+  const MqTuning& tuning = mq_tuning();
+  const struct {
+    const char* name;
+    bool sticky;
+    bool buffered;
+  } variants[] = {{"mq-buf", false, true},
+                  {"mq-sticky", true, false},
+                  {"mq-eng", true, true}};
+  for (const auto& variant : variants) {
+    const QueueSpec* spec = find_queue(variant.name);
+    ASSERT_NE(spec, nullptr) << variant.name;
+    EXPECT_FALSE(spec->strict) << variant.name;
+    EXPECT_FALSE(spec->in_paper) << variant.name;
+    EXPECT_FALSE(spec->rank_bound_hard) << variant.name;
+    ASSERT_TRUE(spec->rank_bound) << variant.name;
+    MqEngConfig cfg;
+    cfg.c = tuning.c;
+    cfg.stickiness = variant.sticky ? tuning.stickiness : 1;
+    cfg.ins_buffer = variant.buffered ? tuning.buffer : 0;
+    cfg.del_buffer = variant.buffered ? tuning.buffer : 0;
+    for (unsigned threads : {1u, 4u, 16u}) {
+      EXPECT_EQ(spec->rank_bound(threads),
+                (EngMultiQueue<bench_key, bench_value>::soft_rank_bound(
+                    cfg, threads)))
+          << variant.name << " t=" << threads;
+      EXPECT_GT(spec->rank_bound(threads), mq->rank_bound(threads))
+          << variant.name << " t=" << threads;
+    }
+  }
 }
 
 TEST(Integration, ThroughputRunsForEveryQueue) {
@@ -362,6 +401,52 @@ TEST(BenchCli, InvalidFlagsExitWithStatusTwo) {
   EXPECT_EQ(run_cli("--arrival-hz=nope", out), 2);
   EXPECT_EQ(run_cli("--json=", out), 2);
   EXPECT_EQ(run_cli("--queues=bogus1,bogus2", out), 2);
+  // Engineered-MultiQueue knobs: garbage, empty, negative, and
+  // out-of-range values must all die with status 2 before any measurement.
+  EXPECT_EQ(run_cli("--mq-c=abc", out), 2);
+  EXPECT_EQ(run_cli("--mq-c=0", out), 2);
+  EXPECT_EQ(run_cli("--mq-c=65", out), 2);
+  EXPECT_EQ(run_cli("--mq-sticky=", out), 2);
+  EXPECT_EQ(run_cli("--mq-sticky=-3", out), 2);
+  EXPECT_EQ(run_cli("--mq-sticky=4097", out), 2);
+  EXPECT_EQ(run_cli("--mq-buf=16x", out), 2);
+  EXPECT_EQ(run_cli("--mq-buf=1025", out), 2);
+}
+
+TEST(BenchCli, MqKnobsListedAndAccepted) {
+  std::string out;
+  ASSERT_EQ(run_cli("--list", out), 0);
+  for (const char* needle :
+       {"mq-buf", "mq-sticky", "mq-eng", "--mq-c=N", "--mq-sticky=N",
+        "--mq-buf=N", "engineered MultiQueue knobs"}) {
+    EXPECT_NE(out.find(needle), std::string::npos) << needle;
+  }
+  // Valid knob values run end to end (including buffer 0 = unbuffered).
+  ASSERT_EQ(run_cli("--mode=throughput --queues=mq-eng --threads=2 --ms=5 "
+                    "--reps=1 --prefill=200 --mq-c=2 --mq-sticky=4 "
+                    "--mq-buf=8",
+                    out),
+            0);
+  EXPECT_NE(out.find("mq-eng"), std::string::npos);
+  ASSERT_EQ(run_cli("--mode=throughput --queues=mq-buf --threads=2 --ms=5 "
+                    "--reps=1 --prefill=200 --mq-buf=0",
+                    out),
+            0);
+}
+
+TEST(BenchCli, MetricsFlagArmsWidenedEngineeredBound) {
+  // The --metrics rank-est line for mq-eng must carry the widened soft
+  // bound derived from the CLI knobs — (c*s + 2*buf) * threads — and soft
+  // bounds must never report a violation.
+  std::string out;
+  ASSERT_EQ(run_cli("--mode=throughput --queues=mq-eng --threads=2 --ms=20 "
+                    "--reps=1 --prefill=5000 --mq-c=4 --mq-sticky=8 "
+                    "--mq-buf=16 --metrics",
+                    out),
+            0);
+  EXPECT_NE(out.find("# rank-est mq-eng t=2:"), std::string::npos) << out;
+  EXPECT_NE(out.find("bound=128 (soft) violations=0"), std::string::npos)
+      << out;
 }
 
 TEST(BenchCli, JsonOutputValidatesAgainstSchema) {

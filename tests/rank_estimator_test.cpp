@@ -10,6 +10,8 @@
 
 #include "obs/metrics.hpp"
 #include "obs/rank_estimator.hpp"
+#include "queues/multiqueue.hpp"
+#include "queues/multiqueue_eng.hpp"
 
 namespace cpq::obs {
 namespace {
@@ -84,6 +86,41 @@ TEST(RankEstimatorTest, SoftBoundNeverCountsViolations) {
   EXPECT_EQ(snap.max, 63u);
   EXPECT_EQ(snap.violations, 0u);
   EXPECT_FALSE(snap.hard_bound);
+  est.disable();
+}
+
+TEST(RankEstimatorTest, EngineeredMultiQueueBoundWidensAndArmsSoft) {
+  // The engineered MultiQueue self-reports a soft bound that grows with its
+  // stickiness and buffer capacities (queue_traits.hpp
+  // RelaxationSelfReporting); armed the way metrics_cell_begin does, it must
+  // (a) be strictly wider than the classic c*P bound, and (b) never count a
+  // violation even for estimates past the widened bound — it is soft.
+  constexpr unsigned kThreads = 4;
+  MqEngConfig cfg;  // defaults: c=4, stickiness=8, buffers=16+16
+  const MultiQueue<std::uint64_t, std::uint64_t> classic(1, cfg.c);
+  const double widened =
+      EngMultiQueue<std::uint64_t, std::uint64_t>::soft_rank_bound(cfg,
+                                                                   kThreads);
+  EXPECT_EQ(widened, (4.0 * 8 + 16 + 16) * kThreads);
+  EXPECT_GT(widened, classic.soft_rank_bound(kThreads));
+
+  // Sample period 2 keeps every key inside the sketch window
+  // (kWindowCapacity = 256 = the widened bound at these defaults) while the
+  // scaled estimates still reach past the widened bound.
+  auto& est = RankEstimator::global();
+  est.enable(widened, /*hard_bound=*/false, /*sample_period=*/2);
+  constexpr std::uint64_t kKeys = 200;
+  static_assert(kKeys <= RankEstimator::kWindowCapacity);
+  for (std::uint64_t k = 1; k <= kKeys; ++k) est.observe_insert(k);
+  // An estimate inside the widened window (but past the classic bound)...
+  est.observe_delete(64);  // estimate 63 * 2 = 126
+  // ...and one far past even the widened bound + slack.
+  est.observe_delete(kKeys);  // estimate (kKeys - 2) * 2 = 396
+  const auto snap = est.snapshot();
+  EXPECT_EQ(snap.bound, widened);
+  EXPECT_FALSE(snap.hard_bound);
+  EXPECT_GE(snap.max, static_cast<std::uint64_t>(widened));
+  EXPECT_EQ(snap.violations, 0u) << "soft bounds must never count violations";
   est.disable();
 }
 

@@ -35,6 +35,7 @@
 #include "queues/linden.hpp"
 #include "queues/mound.hpp"
 #include "queues/multiqueue.hpp"
+#include "queues/multiqueue_eng.hpp"
 #include "queues/shavit_lotan.hpp"
 #include "queues/spraylist.hpp"
 #include "queues/sundell_tsigas.hpp"
@@ -52,6 +53,17 @@ using K = std::uint64_t;
 using V = std::uint64_t;
 using MqPairing = MultiQueue<K, V, seq::PairingHeap<K, V>>;
 using MqDary = MultiQueue<K, V, seq::DaryHeap<K, V, 4>>;
+using MqEng = EngMultiQueue<K, V>;
+
+// Engineered-variant configs mirroring the registry's mq-buf / mq-sticky /
+// mq-eng entries (registry.cpp can't be linked here — ODR, see header).
+MqEngConfig eng_config(unsigned stickiness, unsigned buffer) {
+  MqEngConfig cfg;
+  cfg.stickiness = stickiness;
+  cfg.ins_buffer = buffer;
+  cfg.del_buffer = buffer;
+  return cfg;
+}
 
 std::uint32_t torture_ppm() {
   if (const char* env = std::getenv("CPQ_INJECT_PPM")) {
@@ -92,6 +104,12 @@ std::unique_ptr<MqDary> make_queue(unsigned threads) {
   return std::make_unique<MqDary>(threads, 4);
 }
 template <>
+std::unique_ptr<MqEng> make_queue(unsigned threads) {
+  // The combined mq-eng configuration: buffers and sticky rounds together
+  // cross every new seam (flush, refill, spill) in one typed run.
+  return std::make_unique<MqEng>(threads, eng_config(8, 16));
+}
+template <>
 std::unique_ptr<KLsmQueue<K, V>> make_queue(unsigned threads) {
   return std::make_unique<KLsmQueue<K, V>>(threads, 128);
 }
@@ -123,7 +141,7 @@ std::unique_ptr<ChunkBasedQueue<K, V>> make_queue(unsigned threads) {
 using QueueTypes =
     ::testing::Types<GlobalLockQueue<K, V>, LindenQueue<K, V>, HuntHeap<K, V>,
                      SprayList<K, V>, MultiQueue<K, V>, MqPairing, MqDary,
-                     KLsmQueue<K, V>, DlsmQueue<K, V>, SlsmQueue<K, V>,
+                     MqEng, KLsmQueue<K, V>, DlsmQueue<K, V>, SlsmQueue<K, V>,
                      ShavitLotanQueue<K, V>, SundellTsigasQueue<K, V>,
                      Mound<K, V>, ChunkBasedQueue<K, V>>;
 
@@ -207,6 +225,122 @@ TYPED_TEST(TortureTest, SplitProducersConsumersConserveItems) {
   const validation::ReconcileReport report = queue.reconcile();
   EXPECT_TRUE(report.ok()) << report.to_string();
   EXPECT_EQ(report.inserted, 2 * kPerProducer);
+}
+
+// ---- engineered MultiQueue: every variant and buffer seam ----------------
+
+// The typed suite above covers the combined mq-eng configuration; these
+// cover the single-refinement variants (registry's mq-buf and mq-sticky)
+// plus the conservation edges specific to thread-local buffering: items
+// parked in an unflushed insertion buffer, a partially-served deletion
+// batch at handle teardown, and the new flush/refill/spill seams stretched
+// by injection.
+class EngMqTortureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    validation::fault_injection_configure(torture_ppm(), 0x7045);
+  }
+  void TearDown() override { validation::fault_injection_configure(0, 42); }
+
+  void contended_mix(const MqEngConfig& cfg, std::uint64_t seed) {
+    constexpr unsigned kThreads = 4;
+    constexpr std::uint64_t kOpsPerThread = 6000;
+    validation::CheckedQueue<MqEng> queue(
+        kThreads, std::make_unique<MqEng>(kThreads, cfg));
+    run_team(kThreads, [&](unsigned tid) {
+      auto handle = queue.get_handle(tid);
+      Xoroshiro128 rng(thread_seed(seed, tid));
+      std::uint64_t inserted = 0;
+      for (std::uint64_t op = 0; op < kOpsPerThread; ++op) {
+        if (rng.next_below(100) < 60) {
+          handle.insert(rng.next_below(1u << 10), value_of(tid, inserted++));
+        } else {
+          K k;
+          V v;
+          handle.delete_min(k, v);
+        }
+      }
+    });
+    const validation::ReconcileReport report = queue.reconcile();
+    EXPECT_TRUE(report.ok()) << report.to_string();
+    EXPECT_GT(report.inserted, 0u);
+  }
+};
+
+TEST_F(EngMqTortureTest, BufferedOnlyConservesItems) {
+  contended_mix(eng_config(/*stickiness=*/1, /*buffer=*/16), 0x7046);
+}
+
+TEST_F(EngMqTortureTest, StickyOnlyConservesItems) {
+  contended_mix(eng_config(/*stickiness=*/8, /*buffer=*/0), 0x7047);
+}
+
+TEST_F(EngMqTortureTest, TinyBuffersMaximizeFlushSeamCrossings) {
+  // Buffer capacity 1 flushes/refills on every op — the worst case for the
+  // new lock seams — with a single local queue per thread for contention.
+  MqEngConfig cfg = eng_config(/*stickiness=*/2, /*buffer=*/1);
+  cfg.c = 1;
+  contended_mix(cfg, 0x7048);
+}
+
+// Close/drain with NON-EMPTY thread buffers: fewer insertions than the
+// buffer capacity means nothing was ever flushed to the shared queues —
+// every item must reach reconcile()'s drain via the handle-teardown spill.
+TEST_F(EngMqTortureTest, UnflushedInsertionBuffersSpillAtTeardown) {
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerThread = 7;  // < ins_buffer = 16
+  validation::CheckedQueue<MqEng> queue(
+      kThreads, std::make_unique<MqEng>(kThreads, eng_config(8, 16)));
+  run_team(kThreads, [&](unsigned tid) {
+    auto handle = queue.get_handle(tid);
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      handle.insert(1000 * tid + i, value_of(tid, i));
+    }
+  });
+  // Handles are gone: every never-flushed item must now sit in the shared
+  // queues, placed there by the teardown spill.
+  EXPECT_EQ(queue.inner().unsafe_size(), kThreads * kPerThread);
+  const validation::ReconcileReport report = queue.reconcile();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.inserted, kThreads * kPerThread);
+  EXPECT_EQ(report.drained, kThreads * kPerThread);
+}
+
+// A deletion batch abandoned half-served: the handle pops one item of a
+// 16-item refill and is destroyed; the other 15 must be spilled back, not
+// lost with the handle.
+TEST_F(EngMqTortureTest, PartialDeletionBatchSpillsAtTeardown) {
+  constexpr std::uint64_t kItems = 64;
+  validation::CheckedQueue<MqEng> queue(
+      1, std::make_unique<MqEng>(1, eng_config(8, 16)));
+  {
+    auto handle = queue.get_handle(0);
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      handle.insert(i, value_of(0, i));
+    }
+    K k;
+    V v;
+    ASSERT_TRUE(handle.delete_min(k, v));  // refills a batch, serves one
+  }
+  const validation::ReconcileReport report = queue.reconcile();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.inserted, kItems);
+  EXPECT_EQ(report.deleted, 1u);
+  EXPECT_EQ(report.drained, kItems - 1);
+}
+
+// The engineered seams themselves (buffer flush, batch refill, teardown
+// spill) under targeted high-rate delay injection — the site filter focuses
+// every firing on the mq_eng.* hooks; the unfiltered spinlock delays are
+// already covered by the typed TortureTest runs above.
+TEST_F(EngMqTortureTest, InjectedLockAndBufferSeamsStayConservative) {
+  validation::fault_injection_configure(/*ppm=*/50'000, /*seed=*/0x7049,
+                                        validation::FaultAction::kDelay,
+                                        "mq_eng");
+  const std::uint64_t before = validation::fault_injections_fired();
+  contended_mix(eng_config(/*stickiness=*/4, /*buffer=*/4), 0x704A);
+  EXPECT_GT(validation::fault_injections_fired(), before)
+      << "mq_eng.* injection seams compiled in but never crossed";
 }
 
 // ---- the PriorityService layer over every roster queue -------------------

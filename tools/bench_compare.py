@@ -83,11 +83,18 @@ def load_records(path):
 
 
 def compare(baseline, current, threshold):
-    """Return (regressions, improvements, skipped, missing) lists."""
+    """Return (regressions, improvements, skipped, missing, seeding) lists.
+
+    `seeding` holds cells present in the current run but absent from the
+    baseline — newly added queues/metrics that the baseline has not been
+    regenerated for yet. They are informational (never failures): a growing
+    benchmark matrix seeds its baseline, it does not regress against it.
+    """
     regressions = []
     improvements = []
     skipped = []
     missing = []
+    seeding = [key for key in sorted(current) if key not in baseline]
 
     for key, base in sorted(baseline.items()):
         metric = key[2]
@@ -122,7 +129,7 @@ def compare(baseline, current, threshold):
             regressions.append((key, base, cur, f"{pct:+.1f}%"))
         elif delta > band:
             improvements.append((key, base, cur))
-    return regressions, improvements, skipped, missing
+    return regressions, improvements, skipped, missing, seeding
 
 
 def describe(key):
@@ -141,7 +148,7 @@ def run_compare(args):
         print(f"bench_compare: {args.baseline}: no records", file=sys.stderr)
         return 2
 
-    regressions, improvements, skipped, missing = compare(
+    regressions, improvements, skipped, missing, seeding = compare(
         baseline, current, args.threshold)
 
     print(f"bench_compare: {len(baseline)} baseline cells, "
@@ -153,6 +160,11 @@ def run_compare(args):
         print(f"  improved   {describe(key)}: {base['mean']} -> {cur['mean']}")
     if missing:
         print(f"  {len(missing)} baseline cell(s) missing from current run")
+    if seeding:
+        print(f"  {len(seeding)} new cell(s) not in baseline "
+              f"(baseline-seeding, not failures):")
+        for key in seeding:
+            print(f"    new        {describe(key)}")
     if skipped:
         print(f"  {len(skipped)} cell(s) informational-only (not compared)")
     if regressions:
@@ -178,41 +190,50 @@ def self_test():
             cell("counter_cas_retry", 123456.0)}
 
     # 1. Identical re-run: must pass.
-    r, _, skipped, _ = compare(base, dict(base), 0.20)
+    r, _, skipped, _, _ = compare(base, dict(base), 0.20)
     assert not r, f"identical re-run flagged: {r}"
     assert len(skipped) == 1, "counter cell should be informational-only"
 
     # 2. 30% throughput drop: must be detected at the default threshold.
     worse = {k: dict(v) for k, v in base.items()}
     worse[("fig1", "mq", "throughput_mops", 4)]["mean"] = 7.0
-    r, _, _, _ = compare(base, worse, 0.20)
+    r, _, _, _, _ = compare(base, worse, 0.20)
     assert len(r) == 1 and r[0][0][2] == "throughput_mops", \
         f"30% regression not detected: {r}"
 
     # 3. Same drop inside a huge CI is noise, not a regression.
     noisy = {k: dict(v) for k, v in base.items()}
     noisy[("fig1", "mq", "throughput_mops", 4)]["ci95"] = 5.0
-    r, _, _, _ = compare(noisy, worse, 0.20)
+    r, _, _, _, _ = compare(noisy, worse, 0.20)
     assert not r, f"noise-band violation: {r}"
 
     # 4. Latency direction: 30% slower p99 is a regression.
     slower = {k: dict(v) for k, v in base.items()}
     slower[("fig1", "mq", "latency_delete_p99_ns", 4)]["mean"] = 1200.0
-    r, _, _, _ = compare(base, slower, 0.20)
+    r, _, _, _, _ = compare(base, slower, 0.20)
     assert len(r) == 1 and r[0][0][2] == "latency_delete_p99_ns", \
         f"latency regression not detected: {r}"
 
     # 5. A previously-ok cell that now reports status=failed regresses.
     failed = {k: dict(v) for k, v in base.items()}
     failed[("fig1", "mq", "throughput_mops", 4)]["status"] = "failed"
-    r, _, _, _ = compare(base, failed, 0.20)
+    r, _, _, _, _ = compare(base, failed, 0.20)
     assert len(r) == 1 and r[0][3] == "cell failed", f"failed cell missed: {r}"
 
     # 6. "mean": null (schema v2) is skipped, not compared as zero.
     nullled = {k: dict(v) for k, v in base.items()}
     nullled[("fig1", "mq", "throughput_mops", 4)]["mean"] = None
-    r, _, skipped, _ = compare(base, nullled, 0.20)
+    r, _, skipped, _, _ = compare(base, nullled, 0.20)
     assert not r and len(skipped) == 2, f"null mean mishandled: {r} {skipped}"
+
+    # 7. A cell only present in the current run seeds the baseline; it is
+    #    reported informationally and is never a regression.
+    grown = {k: dict(v) for k, v in base.items()}
+    new_key = ("fig1", "mq-eng", "throughput_mops", 4)
+    grown[new_key] = dict(cell("throughput_mops", 25.0, 0.5), queue="mq-eng")
+    r, _, _, _, seeding = compare(base, grown, 0.20)
+    assert not r, f"baseline-seeding cell flagged as regression: {r}"
+    assert seeding == [new_key], f"seeding cell not reported: {seeding}"
 
     print("bench_compare: self-test passed")
     return 0
