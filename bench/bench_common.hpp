@@ -4,6 +4,7 @@
 // queues).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -17,6 +18,8 @@
 #include "obs/metrics.hpp"
 #include "obs/perf_counters.hpp"
 #include "obs/rank_estimator.hpp"
+#include "platform/rng.hpp"
+#include "workloads/hygiene.hpp"
 
 namespace cpq::bench {
 
@@ -188,7 +191,122 @@ inline bool throughput_table(const std::string& label, BenchConfig cfg,
                                    static_cast<unsigned>(
                                        result.per_rep.size()),
                                    failed ? "failed" : "ok"});
+      // Open-loop runs additionally report the burst_* family: configured
+      // offered load plus the measured burst shape, so an achieved-vs-offered
+      // gap (queue saturating under bursts) is visible in the JSON.
+      if (cfg.arrivals.enabled() && !failed) {
+        const Summary on = summarize(result.on_fraction_per_rep);
+        const Summary bursts = summarize(result.bursts_per_rep);
+        const double offered_mops =
+            cfg.arrivals.mean_hz() * threads / 1e6;
+        std::printf("# burst %s t=%u: offered=%.3fMOps/s on=%.3f bursts=%.0f\n",
+                    spec->name.c_str(), threads, offered_mops, on.mean,
+                    bursts.mean);
+        const unsigned reps =
+            static_cast<unsigned>(result.per_rep.size());
+        JsonSink::instance().record({config_title(label, cfg), spec->name,
+                                     "burst_offered_mops", threads,
+                                     offered_mops, 0.0, reps});
+        JsonSink::instance().record({config_title(label, cfg), spec->name,
+                                     "burst_on_fraction", threads, on.mean,
+                                     on.ci95, reps});
+        JsonSink::instance().record({config_title(label, cfg), spec->name,
+                                     "burst_count", threads, bursts.mean,
+                                     bursts.ci95, reps});
+      }
       metrics_cell_report(config_title(label, cfg), spec->name, threads);
+    }
+    if (ok_cells == 0) {
+      std::fprintf(stderr,
+                   "[cpq] %s: dropping thread row %u (every cell failed)\n",
+                   label.c_str(), threads);
+      continue;
+    }
+    table.add_row(std::to_string(threads), std::move(cells));
+  }
+  table.print();
+  return all_ok;
+}
+
+// Interleaved throughput sweep (anti-artifact hygiene, arXiv:2208.08469):
+// all queues run inside one process lifetime, one repetition at a time, in
+// a freshly shuffled queue order per repetition. Back-to-back per-queue
+// processes always present each queue with a pristine heap; interleaving
+// makes every queue inherit the allocator state its rivals left behind —
+// as in any real comparison harness — and the per-queue spread across
+// repetitions ((max-min)/mean) is reported as the layout_* metric family
+// instead of silently contaminating the means. Per-cell metrics/rank-est
+// reporting is skipped here: cells interleave, so registry deltas would
+// mix queues. Returns false when any queue produced no completed rep.
+inline bool interleaved_throughput_table(
+    const std::string& label, BenchConfig cfg, const Options& options,
+    const std::vector<const QueueSpec*>& roster) {
+  std::vector<std::string> columns;
+  for (const QueueSpec* spec : roster) columns.push_back(spec->name);
+  Table table(config_title(label, cfg) +
+                  " — interleaved throughput [MOps/s] (layout spread)",
+              "threads", columns);
+  bool all_ok = true;
+  for (unsigned threads : options.thread_ladder) {
+    cfg.threads = threads;
+    std::vector<std::vector<double>> samples(roster.size());
+    std::vector<std::size_t> order(roster.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (unsigned rep = 0; rep < cfg.repetitions; ++rep) {
+      // Fresh shuffled order per repetition so position-in-process effects
+      // average out instead of systematically favoring one queue.
+      Xoroshiro128 order_rng(cfg.seed ^ (0x17ecaf3ULL * (rep + 1)) ^ threads);
+      workloads::deterministic_shuffle(order, order_rng);
+      for (std::size_t idx : order) {
+        BenchConfig rep_cfg = cfg;
+        rep_cfg.repetitions = 1;
+        // Matches run_throughput's internal per-rep seed derivation, so an
+        // interleaved rep replays the same key streams as rep `rep` of a
+        // plain sweep — only the process-lifetime context differs.
+        rep_cfg.seed = cfg.seed + 7919ULL * rep;
+        rep_cfg.label = roster[idx]->name;
+        const ThroughputResult result = roster[idx]->throughput(rep_cfg);
+        if (!result.failed()) samples[idx].push_back(result.per_rep.front());
+      }
+    }
+    std::vector<std::string> cells;
+    unsigned ok_cells = 0;
+    for (std::size_t i = 0; i < roster.size(); ++i) {
+      const std::string experiment = config_title(label, cfg);
+      if (samples[i].empty()) {
+        all_ok = false;
+        cells.emplace_back(kFailedCell);
+        JsonSink::instance().record({experiment, roster[i]->name,
+                                     "throughput_mops", threads, 0.0, 0.0, 0,
+                                     "failed"});
+        continue;
+      }
+      ++ok_cells;
+      const Summary mops = summarize(samples[i]);
+      const auto [min_it, max_it] =
+          std::minmax_element(samples[i].begin(), samples[i].end());
+      const double spread_pct =
+          mops.mean > 0.0 ? (*max_it - *min_it) / mops.mean * 100.0 : 0.0;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.2f (±%.1f%%)", mops.mean,
+                    spread_pct / 2.0);
+      cells.emplace_back(buf);
+      const unsigned reps = static_cast<unsigned>(samples[i].size());
+      JsonSink::instance().record({experiment, roster[i]->name,
+                                   "throughput_mops", threads, mops.mean,
+                                   mops.ci95, reps});
+      JsonSink::instance().record({experiment, roster[i]->name,
+                                   "layout_spread_pct", threads, spread_pct,
+                                   0.0, reps});
+      JsonSink::instance().record({experiment, roster[i]->name,
+                                   "layout_min_mops", threads, *min_it, 0.0,
+                                   reps});
+      JsonSink::instance().record({experiment, roster[i]->name,
+                                   "layout_max_mops", threads, *max_it, 0.0,
+                                   reps});
+      std::printf("# layout %s t=%u: spread=%.1f%% min=%.2f max=%.2f (n=%u)\n",
+                  roster[i]->name.c_str(), threads, spread_pct, *min_it,
+                  *max_it, reps);
     }
     if (ok_cells == 0) {
       std::fprintf(stderr,
@@ -350,6 +468,14 @@ inline bool service_table(const std::string& label,
                                    "service_breaker_trips", total,
                                    static_cast<double>(sstats.breaker_trips),
                                    0.0, 1});
+      if (cfg.arrivals.enabled()) {
+        JsonSink::instance().record(
+            {label, spec->name, "burst_on_fraction", total,
+             comparison.service.burst_on_fraction, 0.0, 1});
+        JsonSink::instance().record(
+            {label, spec->name, "burst_count", total,
+             static_cast<double>(comparison.service.bursts), 0.0, 1});
+      }
       metrics_cell_report(label, spec->name, total);
       if (cfg.checked) {
         for (const service::ServiceBenchResult* result :

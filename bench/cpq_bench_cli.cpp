@@ -4,9 +4,20 @@
 // Every orthogonal parameter the paper enumerates is a flag:
 //
 //   --queues=glock,linden,…   roster (default: the paper's seven)
-//   --workload=uniform|split|alternating|batch
+//   --workload=uniform|split|alternating|batch|pcsplit
 //   --batch=N                 operation batch size (implies --workload=batch)
 //   --keys=uniform32|uniform16|uniform8|ascending|descending|hold
+//             |zipf:THETA[,BITS]|hotspot:OPS,KEYS[,BITS]|dijkstra:MIN,MAX
+//   --key-dist=SPEC           alias for --keys (workload-subsystem spelling)
+//   --producer-fraction=F     fraction of threads that insert (pcsplit)
+//   --arrivals=closed|poisson:HZ|mmpp:HZ_ON,HZ_OFF,ON_MS,OFF_MS
+//                             open-loop arrival pacing per worker thread
+//                             (throughput mode; default closed loop)
+//   --interleave              run all queues in one process, one repetition
+//                             at a time in shuffled order, and report the
+//                             per-queue layout_* spread (throughput mode)
+//   --perturb-layout          randomize heap layout between repetitions and
+//                             shuffle prefill insertion order
 //   --insert-fraction=0.5     operation distribution (uniform workload)
 //   --prefill=100000
 //   --threads=1,2,4,8         thread ladder
@@ -61,6 +72,7 @@
 #include "bench_framework/latency.hpp"
 #include "chaos_driver.hpp"
 #include "obs/chrome_trace.hpp"
+#include "workloads/spec.hpp"
 
 namespace {
 
@@ -105,15 +117,12 @@ int bad_value(const char* flag, const std::string& value, const char* want) {
 }
 
 KeyConfig parse_keys(const std::string& text, bool& ok) {
-  ok = true;
-  if (text == "uniform32") return KeyConfig::uniform(32);
-  if (text == "uniform16") return KeyConfig::uniform(16);
-  if (text == "uniform8") return KeyConfig::uniform(8);
-  if (text == "ascending") return KeyConfig::ascending();
-  if (text == "descending") return KeyConfig::descending();
-  if (text == "hold") return KeyConfig::hold();
-  ok = false;
-  return KeyConfig::uniform(32);
+  // One grammar for --keys and --key-dist, shared with bench_skew and the
+  // tests: src/workloads/spec.hpp is the single source of truth for which
+  // specs (and which parameter ranges) the harness accepts.
+  const auto parsed = cpq::workloads::parse_key_spec(text);
+  ok = parsed.has_value();
+  return parsed.value_or(KeyConfig::uniform(32));
 }
 
 Workload parse_workload(const std::string& text, bool& ok) {
@@ -122,6 +131,7 @@ Workload parse_workload(const std::string& text, bool& ok) {
   if (text == "split") return Workload::kSplit;
   if (text == "alternating") return Workload::kAlternating;
   if (text == "batch") return Workload::kBatch;
+  if (text == "pcsplit") return Workload::kPcSplit;
   ok = false;
   return Workload::kUniform;
 }
@@ -129,6 +139,9 @@ Workload parse_workload(const std::string& text, bool& ok) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--queues=a,b] [--workload=W] [--keys=K]\n"
+               "          [--key-dist=K] [--producer-fraction=F]\n"
+               "          [--arrivals=closed|poisson:HZ|mmpp:...] "
+               "[--interleave] [--perturb-layout]\n"
                "          [--insert-fraction=F] [--prefill=N] "
                "[--threads=1,2,4]\n"
                "          [--ms=N] [--ops=N] [--reps=N] [--seed=N]\n"
@@ -209,7 +222,11 @@ int main(int argc, char** argv) {
   std::string keys_text = "uniform32";
   double insert_fraction = 0.5;
   std::uint64_t batch_size = 1;
+  double producer_fraction = 0.5;
   double arrival_hz = 0.0;
+  cpq::workloads::ArrivalConfig arrivals;
+  bool interleave = false;
+  bool perturb_layout = false;
   bool checked = false;
   bool dump_traces = false;
   std::string trace_out;
@@ -222,6 +239,14 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--checked") == 0) {
       checked = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--interleave") == 0) {
+      interleave = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--perturb-layout") == 0) {
+      perturb_layout = true;
       continue;
     }
     if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -262,8 +287,22 @@ int main(int argc, char** argv) {
       queues = value;
     } else if (parse_flag(argv[i], "--workload", value)) {
       workload_text = value;
-    } else if (parse_flag(argv[i], "--keys", value)) {
+    } else if (parse_flag(argv[i], "--keys", value) ||
+               parse_flag(argv[i], "--key-dist", value)) {
       keys_text = value;
+    } else if (parse_flag(argv[i], "--arrivals", value)) {
+      const auto parsed = cpq::workloads::parse_arrival_spec(value);
+      if (!parsed) {
+        return bad_value("--arrivals", value,
+                         "want closed, poisson:HZ or "
+                         "mmpp:HZ_ON,HZ_OFF,ON_MS,OFF_MS");
+      }
+      arrivals = *parsed;
+    } else if (parse_flag(argv[i], "--producer-fraction", value)) {
+      if (!parse_double(value, producer_fraction) ||
+          producer_fraction <= 0.0 || producer_fraction > 1.0) {
+        return bad_value("--producer-fraction", value, "want 0.0 < F <= 1.0");
+      }
     } else if (parse_flag(argv[i], "--insert-fraction", value)) {
       if (!parse_double(value, insert_fraction) || insert_fraction < 0.0 ||
           insert_fraction > 1.0) {
@@ -345,9 +384,18 @@ int main(int argc, char** argv) {
   cfg.workload = parse_workload(workload_text, ok);
   if (!ok) return usage(argv[0]);
   cfg.keys = parse_keys(keys_text, ok);
-  if (!ok) return usage(argv[0]);
+  if (!ok) {
+    return bad_value("--keys/--key-dist", keys_text,
+                     "want uniform32|16|8, ascending, descending, hold, "
+                     "zipf:THETA[,BITS], hotspot:OPS,KEYS[,BITS] or "
+                     "dijkstra:MIN,MAX");
+  }
   cfg.insert_fraction = insert_fraction;
   cfg.batch_size = batch_size;
+  cfg.producer_fraction = producer_fraction;
+  cfg.arrivals = arrivals;
+  cfg.perturb_layout = perturb_layout;
+  cfg.shuffle_prefill = perturb_layout;
 
   const auto roster = resolve_roster(queues);
   if (roster.empty()) {
@@ -373,8 +421,20 @@ int main(int argc, char** argv) {
   // Failed cells set rc but do not return early: the trace export below
   // still runs, so a failing sweep leaves its diagnostics behind.
   int rc = 0;
+  if (interleave && mode != "throughput") {
+    std::fprintf(stderr,
+                 "cpq_bench_cli: --interleave only applies to "
+                 "--mode=throughput\n");
+    return 2;
+  }
   if (mode == "throughput") {
-    if (!throughput_table("custom", cfg, options, roster)) rc = 1;
+    if (interleave) {
+      if (!interleaved_throughput_table("custom", cfg, options, roster)) {
+        rc = 1;
+      }
+    } else if (!throughput_table("custom", cfg, options, roster)) {
+      rc = 1;
+    }
   } else if (mode == "quality") {
     if (!quality_table("custom", cfg, options, roster)) rc = 1;
   } else if (mode == "latency") {
@@ -454,6 +514,7 @@ int main(int argc, char** argv) {
     cpq::service::ServiceBenchConfig scfg;
     scfg.duration_s = options.duration_s;
     scfg.arrival_hz = arrival_hz;
+    scfg.arrivals = arrivals;
     scfg.prefill = options.prefill;
     scfg.keys = cfg.keys;
     scfg.seed = options.seed;

@@ -24,18 +24,23 @@
 #include <cstdio>
 #include <exception>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_framework/keygen.hpp"
 #include "bench_framework/stats.hpp"
 #include "bench_framework/workload.hpp"
 #include "obs/metrics.hpp"
+#include "platform/backoff.hpp"
 #include "platform/cache.hpp"
 #include "platform/thread_util.hpp"
 #include "platform/timing.hpp"
 #include "validation/watchdog.hpp"
+#include "workloads/arrivals.hpp"
+#include "workloads/hygiene.hpp"
 
 namespace cpq::bench {
 
@@ -51,6 +56,15 @@ struct BenchConfig {
   bool pin_threads = true;
   double insert_fraction = 0.5;
   std::uint64_t batch_size = 1;  // for Workload::kBatch
+  double producer_fraction = 0.5;  // for Workload::kPcSplit
+  // Open-loop arrival pacing (workloads/arrivals.hpp); kClosed = the
+  // paper's back-to-back issue model.
+  workloads::ArrivalConfig arrivals;
+  // Anti-artifact hygiene (workloads/hygiene.hpp): insert prefill items in
+  // seeded-random order, and hold a randomized heap-layout perturbation
+  // alive for each repetition.
+  bool shuffle_prefill = false;
+  bool perturb_layout = false;
   // Progress-watchdog deadline in seconds (src/validation/watchdog.hpp):
   // < 0 defers to CPQ_WATCHDOG_S (default 120), 0 disables supervision.
   double watchdog_s = -1.0;
@@ -63,6 +77,11 @@ struct ThroughputResult {
   Summary mops;                    // million operations per second
   std::vector<double> per_rep;     // raw MOps/s per repetition
   unsigned failed_reps = 0;        // repetitions that threw
+  // Open-loop repetitions only (burst_* metric family): measured ON-time
+  // fraction per repetition (averaged over threads) and OFF->ON burst
+  // transitions per repetition. Empty under closed-loop arrivals.
+  std::vector<double> on_fraction_per_rep;
+  std::vector<double> bursts_per_rep;
   // True when no repetition completed: the zeroed Summary is then a failure
   // marker, not a measurement, and must not be reported as one.
   bool failed() const { return per_rep.empty(); }
@@ -125,6 +144,23 @@ void prefill_queue(Queue& queue, const BenchConfig& cfg, std::uint64_t seed,
                    std::vector<OpLogEntry>* log) {
   auto handle = queue.get_handle(0);
   KeyGenerator gen(cfg.keys, seed ^ 0x9e3779b9ULL, detail::kPrefillThread);
+  if (cfg.shuffle_prefill) {
+    // Hygiene: generate first, insert in seeded-random order, so the queue
+    // cannot inherit a conveniently ordered initial structure from the
+    // generator (ascending/descending/hold produce near-sorted streams).
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> items;
+    items.reserve(cfg.prefill);
+    for (std::size_t i = 0; i < cfg.prefill; ++i) {
+      items.emplace_back(gen.next(),
+                         detail::item_id(detail::kPrefillThread, i));
+    }
+    workloads::deterministic_shuffle(items, gen.rng());
+    for (const auto& [key, id] : items) {
+      handle.insert(key, id);
+      if (log) log->push_back({fast_timestamp(), key, id, true});
+    }
+    return;
+  }
   for (std::size_t i = 0; i < cfg.prefill; ++i) {
     const std::uint64_t key = gen.next();
     const std::uint64_t id = detail::item_id(detail::kPrefillThread, i);
@@ -139,12 +175,23 @@ void prefill_queue(Queue& queue, const BenchConfig& cfg, std::uint64_t seed,
 // per operation) that a progress watchdog samples: a queue that livelocks
 // mid-repetition aborts the process with a per-thread diagnostic dump
 // instead of hanging the benchmark forever (validation/watchdog.hpp).
+// Per-repetition burst diagnostics, filled in under open-loop arrivals.
+struct RepArrivalStats {
+  double on_fraction = 0.0;    // mean over threads
+  std::uint64_t bursts = 0;    // total OFF->ON transitions
+  std::uint64_t arrivals = 0;  // total paced arrivals consumed
+};
+
 template <typename Queue>
 double throughput_rep(Queue& queue, const BenchConfig& cfg,
-                      std::uint64_t seed) {
+                      std::uint64_t seed,
+                      RepArrivalStats* arrival_stats = nullptr) {
   SpinBarrier barrier(cfg.threads + 1);
   std::atomic<bool> stop{false};
   std::vector<validation::WorkerProgress> progress(cfg.threads);
+  std::vector<double> on_fraction(cfg.threads, 0.0);
+  std::vector<std::uint64_t> bursts(cfg.threads, 0);
+  std::vector<std::uint64_t> arrivals(cfg.threads, 0);
   validation::Watchdog watchdog(
       cfg.label.empty() ? "throughput" : cfg.label, progress.data(),
       cfg.threads, validation::watchdog_deadline(cfg.watchdog_s),
@@ -158,11 +205,33 @@ double throughput_rep(Queue& queue, const BenchConfig& cfg,
       auto handle = queue.get_handle(tid);
       KeyGenerator gen(cfg.keys, seed, tid);
       OpChooser chooser(cfg.workload, tid, cfg.threads, seed,
-                        cfg.insert_fraction, cfg.batch_size);
+                        cfg.insert_fraction, cfg.batch_size,
+                        cfg.producer_fraction);
+      std::optional<workloads::ArrivalProcess> arrival;
+      if (cfg.arrivals.enabled()) {
+        arrival.emplace(cfg.arrivals, seed, tid);
+      }
       std::uint64_t ops = 0;
       std::uint64_t insert_counter = 0;
       barrier.arrive_and_wait();
+      Stopwatch clock;
       while (!stop.load(std::memory_order_relaxed)) {
+        if (arrival) {
+          // Open-loop pacing: spin until this operation's scheduled arrival
+          // time. A worker that falls behind sees arrival times in the past
+          // and issues the backlog at full speed — open-loop lag, exactly
+          // what the model intends (no pacing debt is forgiven).
+          const double due_ns = arrival->next_arrival_ns();
+          bool stopped = false;
+          while (static_cast<double>(clock.elapsed_ns()) < due_ns) {
+            if (stop.load(std::memory_order_relaxed)) {
+              stopped = true;
+              break;
+            }
+            cpu_relax();
+          }
+          if (stopped) break;
+        }
         if (chooser.next_is_insert()) {
           const std::uint64_t key = gen.next();
           handle.insert(key, detail::item_id(tid, insert_counter++));
@@ -181,6 +250,11 @@ double throughput_rep(Queue& queue, const BenchConfig& cfg,
                        key);
         }
       }
+      if (arrival) {
+        on_fraction[tid] = arrival->on_time_fraction();
+        bursts[tid] = arrival->bursts();
+        arrivals[tid] = arrival->arrivals();
+      }
     });
   }
 
@@ -196,6 +270,15 @@ double throughput_rep(Queue& queue, const BenchConfig& cfg,
   std::uint64_t total = 0;
   for (const auto& p : progress) {
     total += p.ops.load(std::memory_order_relaxed);
+  }
+  if (arrival_stats != nullptr && cfg.arrivals.enabled()) {
+    double on_sum = 0.0;
+    for (unsigned tid = 0; tid < cfg.threads; ++tid) {
+      on_sum += on_fraction[tid];
+      arrival_stats->bursts += bursts[tid];
+      arrival_stats->arrivals += arrivals[tid];
+    }
+    arrival_stats->on_fraction = on_sum / cfg.threads;
   }
   // Denominator for per-op hardware-counter metrics (bench_common.hpp);
   // recorded once per repetition, after all workers joined.
@@ -214,9 +297,19 @@ ThroughputResult run_throughput(Factory&& make_queue, const BenchConfig& cfg) {
     // and skipped rather than taking down the whole sweep; the summary is
     // computed over the repetitions that completed.
     try {
+      // Held for the whole repetition: randomizes the allocator state the
+      // queue is built into, turning layout accidents into per-rep noise.
+      workloads::LayoutPerturbation perturb(cfg.perturb_layout, seed);
       auto queue = make_queue(cfg.threads, seed);
       prefill_queue(*queue, cfg, seed, nullptr);
-      result.per_rep.push_back(throughput_rep(*queue, cfg, seed));
+      RepArrivalStats arrival_stats;
+      result.per_rep.push_back(
+          throughput_rep(*queue, cfg, seed, &arrival_stats));
+      if (cfg.arrivals.enabled()) {
+        result.on_fraction_per_rep.push_back(arrival_stats.on_fraction);
+        result.bursts_per_rep.push_back(
+            static_cast<double>(arrival_stats.bursts));
+      }
     } catch (const std::exception& e) {
       ++result.failed_reps;
       std::fprintf(stderr,
@@ -256,7 +349,8 @@ void quality_rep(Queue& queue, const BenchConfig& cfg, std::uint64_t seed,
       auto handle = queue.get_handle(tid);
       KeyGenerator gen(cfg.keys, seed, tid);
       OpChooser chooser(cfg.workload, tid, cfg.threads, seed,
-                        cfg.insert_fraction, cfg.batch_size);
+                        cfg.insert_fraction, cfg.batch_size,
+                        cfg.producer_fraction);
       auto& log = logs[tid];
       log.reserve(cfg.ops_per_thread);
       std::uint64_t insert_counter = 0;
@@ -300,6 +394,7 @@ QualityResult run_quality(Factory&& make_queue, const BenchConfig& cfg) {
   for (unsigned rep = 0; rep < cfg.repetitions; ++rep) {
     const std::uint64_t seed = cfg.seed + 104729ULL * rep;
     try {
+      workloads::LayoutPerturbation perturb(cfg.perturb_layout, seed);
       auto queue = make_queue(cfg.threads, seed);
       std::vector<std::vector<OpLogEntry>> logs;
       quality_rep(*queue, cfg, seed, logs);

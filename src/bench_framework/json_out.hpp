@@ -27,7 +27,11 @@ namespace cpq::bench {
 //       are structurally unavailable (e.g. perf counters the container
 //       denies — distinct from both a measured 0 and a failed cell), and
 //       introduces the rank_est_* / perf_*_per_op metric names.
-inline constexpr unsigned kJsonSchemaVersion = 2;
+//   3 — introduces the layout_* (layout-sensitivity spread from interleaved
+//       runs) and burst_* (open-loop MMPP arrival diagnostics) metric
+//       families emitted by the workloads subsystem. Both are
+//       informational: bench_compare.py never treats them as regressions.
+inline constexpr unsigned kJsonSchemaVersion = 3;
 
 struct JsonRecord {
   std::string experiment;  // e.g. "fig1_uniform_uniform"

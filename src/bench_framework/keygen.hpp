@@ -1,115 +1,14 @@
-// Key generators for the configurable benchmark (paper §2/§F).
-//
-// Key distributions:
-//   * uniform  — keys uniformly at random from a 32-, 16-, or 8-bit range;
-//   * ascending / descending — a uniformly chosen base key from a small
-//     range, shifted up (down) by the thread's operation number, modelling
-//     monotone workloads such as event times in a simulation;
-//   * hold — the next key is the last *deleted* key plus a random increment
-//     (the classic hold model of Jones 1986, the paper's §F "key dependency
-//     switch"); used by the DES example and the extended benchmark.
-//
-// Each thread owns one generator instance seeded from (base seed,
-// thread id), so runs are reproducible and streams are independent.
+// Compatibility shim: key generation moved to the workloads subsystem
+// (src/workloads/keyspace.hpp) when the adversarial distributions landed.
+// Existing bench_framework call sites keep the cpq::bench spellings.
 #pragma once
 
-#include <cstdint>
-#include <string>
-
-#include "platform/rng.hpp"
+#include "workloads/keyspace.hpp"
 
 namespace cpq::bench {
 
-enum class KeyDistribution : std::uint8_t {
-  kUniform,
-  kAscending,
-  kDescending,
-  kHold,
-};
-
-struct KeyConfig {
-  KeyDistribution distribution = KeyDistribution::kUniform;
-  // Width of the uniform range (32, 16 or 8 in the paper) or of the random
-  // base component for ascending/descending/hold.
-  unsigned bits = 32;
-
-  static KeyConfig uniform(unsigned bits = 32) {
-    return {KeyDistribution::kUniform, bits};
-  }
-  static KeyConfig ascending(unsigned base_bits = 10) {
-    return {KeyDistribution::kAscending, base_bits};
-  }
-  static KeyConfig descending(unsigned base_bits = 10) {
-    return {KeyDistribution::kDescending, base_bits};
-  }
-  static KeyConfig hold(unsigned base_bits = 10) {
-    return {KeyDistribution::kHold, base_bits};
-  }
-
-  std::string name() const {
-    switch (distribution) {
-      case KeyDistribution::kUniform:
-        return "uniform" + std::to_string(bits);
-      case KeyDistribution::kAscending:
-        return "ascending";
-      case KeyDistribution::kDescending:
-        return "descending";
-      case KeyDistribution::kHold:
-        return "hold";
-    }
-    return "?";
-  }
-};
-
-class KeyGenerator {
- public:
-  // Descending keys start from this offset and move downward; large enough
-  // that realistic run lengths never underflow.
-  static constexpr std::uint64_t kDescendingStart = std::uint64_t{1} << 42;
-
-  KeyGenerator(const KeyConfig& config, std::uint64_t base_seed,
-               unsigned thread_id)
-      : config_(config),
-        rng_(thread_seed(base_seed, thread_id)),
-        mask_(config.bits >= 64 ? ~std::uint64_t{0}
-                                : (std::uint64_t{1} << config.bits) - 1) {}
-
-  std::uint64_t next() {
-    const std::uint64_t base = rng_.next() & mask_;
-    switch (config_.distribution) {
-      case KeyDistribution::kUniform:
-        return base;
-      case KeyDistribution::kAscending:
-        return base + op_counter_++;
-      case KeyDistribution::kDescending: {
-        const std::uint64_t shift = op_counter_++;
-        const std::uint64_t down =
-            shift < kDescendingStart ? kDescendingStart - shift : 0;
-        return down + base;
-      }
-      case KeyDistribution::kHold:
-        return last_deleted_ + base;
-    }
-    return base;
-  }
-
-  // Feedback for the hold model; harmless to call for other distributions.
-  void observe_deleted(std::uint64_t key) { last_deleted_ = key; }
-
-  // Advance the per-thread operation counter without drawing from the RNG,
-  // as if `ops` keys had already been generated. Lets tests exercise the
-  // descending distribution's underflow clamp at kDescendingStart without
-  // iterating 2^42 times.
-  void skip(std::uint64_t ops) { op_counter_ += ops; }
-
-  Xoroshiro128& rng() { return rng_; }
-
- private:
-  KeyConfig config_;
-  Xoroshiro128 rng_;
-  std::uint64_t mask_;
-  std::uint64_t op_counter_ = 0;
-  std::uint64_t last_deleted_ = 0;
-};
+using workloads::KeyConfig;
+using workloads::KeyDistribution;
+using workloads::KeyGenerator;
 
 }  // namespace cpq::bench

@@ -111,7 +111,8 @@ LatencyResult run_latency(Factory&& make_queue, const BenchConfig& cfg) {
         auto handle = queue->get_handle(tid);
         KeyGenerator gen(cfg.keys, seed, tid);
         OpChooser chooser(cfg.workload, tid, cfg.threads, seed,
-                          cfg.insert_fraction, cfg.batch_size);
+                          cfg.insert_fraction, cfg.batch_size,
+                          cfg.producer_fraction);
         auto& my_ins = ins[tid];
         auto& my_del = del[tid];
         std::uint64_t counter = 0;

@@ -1,81 +1,14 @@
-// Workload shapes of the configurable benchmark (paper §2/§F).
-//
-//   * uniform     — every thread performs ~50% insertions and ~50%
-//                   deletions, chosen randomly per operation (the paper's
-//                   "operation distribution" parameter, default 0.5);
-//   * split       — half the threads only insert, the other half only
-//                   delete (stresses inter-thread locality);
-//   * alternating — each thread strictly alternates insert/delete (an
-//                   operation batch size of one);
-//   * batch       — B insertions then B deletions, repeating (the paper's
-//                   §F "operation batch size"; large B approaches the
-//                   Larkin–Sen–Tarjan sorting benchmark).
+// Compatibility shim: workload shapes moved to the workloads subsystem
+// (src/workloads/shape.hpp) when the adversarial distributions landed.
+// Existing bench_framework call sites keep the cpq::bench spellings.
 #pragma once
 
-#include <cstdint>
-#include <string>
-
-#include "platform/rng.hpp"
+#include "workloads/shape.hpp"
 
 namespace cpq::bench {
 
-enum class Workload : std::uint8_t {
-  kUniform,
-  kSplit,
-  kAlternating,
-  kBatch,
-};
-
-inline std::string workload_name(Workload w) {
-  switch (w) {
-    case Workload::kUniform:
-      return "uniform";
-    case Workload::kSplit:
-      return "split";
-    case Workload::kAlternating:
-      return "alternating";
-    case Workload::kBatch:
-      return "batch";
-  }
-  return "?";
-}
-
-// Per-thread operation chooser.
-class OpChooser {
- public:
-  OpChooser(Workload workload, unsigned thread_id, unsigned total_threads,
-            std::uint64_t base_seed, double insert_fraction = 0.5,
-            std::uint64_t batch_size = 1)
-      : workload_(workload),
-        rng_(thread_seed(base_seed ^ 0x0bc0de5ULL, thread_id)),
-        insert_threshold_(static_cast<std::uint64_t>(
-            insert_fraction * 0x1p64)),
-        batch_size_(batch_size == 0 ? 1 : batch_size),
-        // Split: the first half of the threads insert, the rest delete.
-        split_inserter_(thread_id < (total_threads + 1) / 2) {}
-
-  // True => the next operation is an insert.
-  bool next_is_insert() {
-    switch (workload_) {
-      case Workload::kUniform:
-        return rng_.next() < insert_threshold_;
-      case Workload::kSplit:
-        return split_inserter_;
-      case Workload::kAlternating:
-        return (op_counter_++ & 1) == 0;
-      case Workload::kBatch:
-        return (op_counter_++ / batch_size_) % 2 == 0;
-    }
-    return true;
-  }
-
- private:
-  Workload workload_;
-  Xoroshiro128 rng_;
-  std::uint64_t insert_threshold_;
-  std::uint64_t batch_size_;
-  bool split_inserter_;
-  std::uint64_t op_counter_ = 0;
-};
+using workloads::OpChooser;
+using workloads::Workload;
+using workloads::workload_name;
 
 }  // namespace cpq::bench

@@ -28,6 +28,7 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -46,6 +47,7 @@
 #include "service/priority_service.hpp"
 #include "validation/checked_queue.hpp"
 #include "validation/watchdog.hpp"
+#include "workloads/arrivals.hpp"
 
 namespace cpq::service {
 
@@ -54,8 +56,13 @@ struct ServiceBenchConfig {
   unsigned consumers = 2;
   double duration_s = 0.1;
   // Per-producer Poisson arrival rate in tasks/s; 0 = submit continuously
-  // (a closed-loop firehose, the saturation upper bound).
+  // (a closed-loop firehose, the saturation upper bound). Superseded by
+  // `arrivals` below when that is enabled.
   double arrival_hz = 0.0;
+  // Generalized arrival process (workloads/arrivals.hpp): poisson:HZ is the
+  // legacy arrival_hz model, mmpp adds on/off burstiness. When enabled this
+  // takes precedence over arrival_hz.
+  workloads::ArrivalConfig arrivals;
   std::size_t prefill = 0;
   bench::KeyConfig keys = bench::KeyConfig::uniform(32);
   ServiceConfig service;
@@ -91,6 +98,10 @@ struct ServiceBenchResult {
   // rate it grows without bound unless deadline shedding caps it.
   obs::LogHistogram sojourn_ns;
   std::uint64_t shed = 0;  // tasks dropped past their deadline (service)
+  // Measured ON-time fraction across producers (burst_* family); 1.0 for
+  // plain Poisson arrivals, 0 when pacing is disabled.
+  double burst_on_fraction = 0.0;
+  std::uint64_t bursts = 0;  // total OFF->ON transitions across producers
   ServiceStats stats;           // zeroed for raw-queue runs
   bool conservation_ok = true;  // meaningful when cfg.checked
   std::string conservation_report;
@@ -144,6 +155,14 @@ void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
 
   std::vector<CacheAligned<std::uint64_t>> submitted(threads);
   std::vector<CacheAligned<std::uint64_t>> delivered(threads);
+  // Effective arrival model: the structured config wins; the legacy scalar
+  // arrival_hz maps onto plain Poisson.
+  workloads::ArrivalConfig arrival_cfg = cfg.arrivals;
+  if (!arrival_cfg.enabled() && cfg.arrival_hz > 0.0) {
+    arrival_cfg = workloads::ArrivalConfig::poisson(cfg.arrival_hz);
+  }
+  std::vector<CacheAligned<double>> on_fraction(threads);
+  std::vector<CacheAligned<std::uint64_t>> bursts(threads);
   SpinBarrier barrier(threads + 1);
   std::atomic<bool> stop{false};
   std::vector<std::thread> team;
@@ -155,21 +174,28 @@ void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
       auto& log = logs[tid];
       if (tid < cfg.producers) {
         bench::KeyGenerator gen(cfg.keys, cfg.seed, tid);
-        Xoroshiro128 arrivals(thread_seed(cfg.seed ^ 0xa441a1, tid));
+        std::optional<workloads::ArrivalProcess> arrival;
+        if (arrival_cfg.enabled()) {
+          arrival.emplace(arrival_cfg, cfg.seed ^ 0xa441a1, tid);
+        }
         std::uint64_t counter = 0;
-        double next_arrival_ns = 0.0;
         barrier.arrive_and_wait();
         Stopwatch watch;
+        bool stopped = false;
         while (!stop.load(std::memory_order_relaxed)) {
-          if (cfg.arrival_hz > 0.0) {
-            // Exponential inter-arrival: the open-loop schedule does not
-            // wait for the service, only for the wall clock.
-            next_arrival_ns +=
-                -std::log(1.0 - arrivals.next_double()) * 1e9 / cfg.arrival_hz;
-            while (static_cast<double>(watch.elapsed_ns()) < next_arrival_ns) {
-              if (stop.load(std::memory_order_relaxed)) return;
+          if (arrival) {
+            // Open-loop schedule: wait for the wall clock, never for the
+            // service. A producer that falls behind issues the backlog at
+            // full speed.
+            const double due_ns = arrival->next_arrival_ns();
+            while (static_cast<double>(watch.elapsed_ns()) < due_ns) {
+              if (stop.load(std::memory_order_relaxed)) {
+                stopped = true;
+                break;
+              }
               cpu_relax();
             }
+            if (stopped) break;
           }
           const std::uint64_t key = gen.next();
           const std::uint64_t id = bench::detail::item_id(tid, counter++);
@@ -196,6 +222,10 @@ void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
                              validation::LastOp::kInsert);
           CPQ_TRACE_OP(submitted[tid].value, ::cpq::obs::TraceOp::kInsert,
                        key);
+        }
+        if (arrival) {
+          on_fraction[tid].value = arrival->on_time_fraction();
+          bursts[tid].value = arrival->bursts();
         }
       } else {
         auto& my_ticks = delete_ticks[tid];
@@ -250,6 +280,14 @@ void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
   for (unsigned tid = 0; tid < threads; ++tid) {
     result.submitted += submitted[tid].value;
     result.delivered += delivered[tid].value;
+  }
+  if (arrival_cfg.enabled() && cfg.producers > 0) {
+    double on_sum = 0.0;
+    for (unsigned tid = 0; tid < cfg.producers; ++tid) {
+      on_sum += on_fraction[tid].value;
+      result.bursts += bursts[tid].value;
+    }
+    result.burst_on_fraction = on_sum / cfg.producers;
   }
   obs::MetricsRegistry::global().add_cell_ops(result.submitted +
                                               result.delivered);

@@ -10,6 +10,9 @@
 //   arrival_hz 20000        # per producer (open-loop Poisson)
 //   producers 2
 //   consumers 2
+//   hot_ops 0.9             # optional hotspot skew: this fraction of
+//   hot_keys 0.1            # submissions hits the bottom hot_keys of
+//                           # key_space (0 0 = uniform keys)
 //   shards 4
 //   ttl_us 50000            # 0 disables deadline shedding
 //   breaker_trip_us 2000    # 0 disables the circuit breaker
@@ -88,6 +91,10 @@ struct ChaosSchedule {
   unsigned producers = 2;
   unsigned consumers = 2;
   std::uint64_t key_space = std::uint64_t{1} << 32;
+  // Hotspot key skew (workloads/distributions.hpp): hot_ops of submissions
+  // draw from the bottom hot_keys of key_space. hot_keys 0 = uniform keys.
+  double hot_ops = 0.0;
+  double hot_keys = 0.0;
 
   // Service configuration (forwarded into ServiceConfig).
   unsigned shards = 4;
@@ -227,6 +234,10 @@ inline bool parse_chaos_schedule(const std::string& text, ChaosSchedule& out,
       out.consumers = static_cast<unsigned>(u);
     } else if (key == "key_space") {
       out.key_space = u;
+    } else if (key == "hot_ops") {
+      out.hot_ops = d;
+    } else if (key == "hot_keys") {
+      out.hot_keys = d;
     } else if (key == "shards") {
       out.shards = static_cast<unsigned>(u);
     } else if (key == "insert_batch") {
@@ -275,6 +286,15 @@ inline bool parse_chaos_schedule(const std::string& text, ChaosSchedule& out,
   }
   if (out.window_ms <= 0.0) {
     error = "chaos schedule: window_ms must be > 0";
+    return false;
+  }
+  if (out.hot_ops < 0.0 || out.hot_ops > 1.0 || out.hot_keys < 0.0 ||
+      out.hot_keys > 1.0) {
+    error = "chaos schedule: hot_ops and hot_keys must be in [0, 1]";
+    return false;
+  }
+  if (out.hot_ops > 0.0 && out.hot_keys == 0.0) {
+    error = "chaos schedule: hot_ops needs hot_keys > 0";
     return false;
   }
   for (const ChaosScenario& sc : out.scenarios) {

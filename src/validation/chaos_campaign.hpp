@@ -42,6 +42,7 @@
 #include <cstdio>
 #include <exception>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -56,6 +57,7 @@
 #include "validation/checked_queue.hpp"
 #include "validation/fault_injection.hpp"
 #include "validation/watchdog.hpp"
+#include "workloads/distributions.hpp"
 
 namespace cpq::validation {
 
@@ -327,6 +329,13 @@ auto run_chaos_campaign(const ChaosSchedule& schedule, std::uint64_t seed,
           std::uint64_t counter = 0;
           std::uint64_t faults = 0;
           std::vector<std::uint64_t>& ts = stamps[tid];
+          // Optional hotspot skew: faults then hammer a popular key range
+          // at the delete_min end instead of a uniform keyspace.
+          std::optional<workloads::HotspotSampler> hotspot;
+          if (schedule.hot_keys > 0.0) {
+            hotspot.emplace(schedule.key_space, schedule.hot_ops,
+                            schedule.hot_keys);
+          }
           for (;;) {
             const std::uint64_t now = service::steady_now_us();
             if (now >= end_us || counter >= per_producer_cap) break;
@@ -340,7 +349,9 @@ auto run_chaos_campaign(const ChaosSchedule& schedule, std::uint64_t seed,
               }
               continue;
             }
-            const std::uint64_t key = rng.next_below(schedule.key_space);
+            const std::uint64_t key = hotspot
+                                          ? hotspot->next(rng)
+                                          : rng.next_below(schedule.key_space);
             const std::uint64_t id = detail::chaos_item_id(tid, counter);
             ts[counter] = now;
             bool accepted = false;

@@ -1,0 +1,167 @@
+// Open-loop arrival processes: Poisson and Markov-modulated Poisson (MMPP).
+//
+// The paper's harness is closed-loop — every worker issues its next
+// operation the instant the previous one returns, so the offered load
+// adapts to the queue under test and bursts can never form. Real traffic is
+// the opposite: tasks arrive on their own schedule, and they arrive in
+// bursts. The two-state MMPP here (the classic on/off interrupted-Poisson
+// model) alternates between an ON state (rate hz_on, mean sojourn on_s) and
+// an OFF state (rate hz_off, mean sojourn off_s); sojourns and
+// inter-arrivals are exponential, so the process stays Markov and the
+// aggregate rate has a closed form:
+//
+//   E[rate] = (hz_on * on_s + hz_off * off_s) / (on_s + off_s)
+//
+// which the statistical tests pin down. A Poisson process is the one-state
+// special case. Each worker owns one process instance seeded from
+// (base seed, thread id): reproducible, independent streams.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "platform/rng.hpp"
+
+namespace cpq::workloads {
+
+struct ArrivalConfig {
+  enum class Kind : std::uint8_t {
+    kClosed,   // no pacing: issue ops back-to-back (the paper's harness)
+    kPoisson,  // exponential inter-arrivals at hz_on
+    kMmpp,     // two-state Markov-modulated Poisson
+  };
+
+  Kind kind = Kind::kClosed;
+  double hz_on = 0.0;   // per-thread arrival rate in the ON state
+  double hz_off = 0.0;  // per-thread arrival rate in the OFF state (mmpp)
+  double on_s = 0.010;  // mean ON-state sojourn (burst length), seconds
+  double off_s = 0.090;  // mean OFF-state sojourn, seconds
+
+  static ArrivalConfig closed() { return {}; }
+  static ArrivalConfig poisson(double hz) {
+    ArrivalConfig cfg;
+    cfg.kind = Kind::kPoisson;
+    cfg.hz_on = hz;
+    return cfg;
+  }
+  static ArrivalConfig mmpp(double hz_on, double hz_off, double on_s,
+                            double off_s) {
+    ArrivalConfig cfg;
+    cfg.kind = Kind::kMmpp;
+    cfg.hz_on = hz_on;
+    cfg.hz_off = hz_off;
+    cfg.on_s = on_s;
+    cfg.off_s = off_s;
+    return cfg;
+  }
+
+  bool enabled() const noexcept { return kind != Kind::kClosed; }
+
+  // Long-run expected arrival rate per thread.
+  double mean_hz() const noexcept {
+    switch (kind) {
+      case Kind::kClosed:
+        return 0.0;
+      case Kind::kPoisson:
+        return hz_on;
+      case Kind::kMmpp:
+        return (hz_on * on_s + hz_off * off_s) / (on_s + off_s);
+    }
+    return 0.0;
+  }
+
+  std::string name() const {
+    char buf[96];
+    switch (kind) {
+      case Kind::kClosed:
+        return "closed";
+      case Kind::kPoisson:
+        std::snprintf(buf, sizeof(buf), "poisson:%g", hz_on);
+        return buf;
+      case Kind::kMmpp:
+        std::snprintf(buf, sizeof(buf), "mmpp:%g,%g,%g,%g", hz_on, hz_off,
+                      on_s * 1e3, off_s * 1e3);
+        return buf;
+    }
+    return "closed";
+  }
+};
+
+// One thread's arrival schedule. next_arrival_ns() returns the absolute
+// offset (nanoseconds from the stream's origin) of the next arrival; the
+// caller spins/sleeps until its wall clock passes it. A caller that falls
+// behind simply observes arrival times in the past and issues the backlog
+// at full speed — the open-loop lag the model intends.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(const ArrivalConfig& cfg, std::uint64_t base_seed,
+                 unsigned thread_id)
+      : cfg_(cfg), rng_(thread_seed(base_seed ^ 0xb0257ULL, thread_id)) {
+    assert(cfg.enabled());
+    on_ = true;
+    state_end_ns_ = next_sojourn_ns();
+  }
+
+  double next_arrival_ns() {
+    for (;;) {
+      const double rate = on_ ? cfg_.hz_on : cfg_.hz_off;
+      if (rate > 0.0) {
+        const double gap_ns = exponential() * 1e9 / rate;
+        if (t_ns_ + gap_ns <= state_end_ns_) {
+          t_ns_ += gap_ns;
+          ++arrivals_;
+          return t_ns_;
+        }
+      }
+      // No (more) arrivals in this state sojourn: cross into the next state.
+      switch_state();
+    }
+  }
+
+  // Diagnostics for the burst_* metric family.
+  std::uint64_t arrivals() const noexcept { return arrivals_; }
+  std::uint64_t bursts() const noexcept { return bursts_; }
+  double on_time_fraction() const noexcept {
+    const double total = t_ns_;
+    if (total <= 0.0) return on_ ? 1.0 : 0.0;
+    double on_ns = on_ns_;
+    if (on_) on_ns += t_ns_ - state_start_ns_;
+    return on_ns / total;
+  }
+
+ private:
+  double exponential() { return -std::log(1.0 - rng_.next_double()); }
+
+  double next_sojourn_ns() {
+    if (cfg_.kind == ArrivalConfig::Kind::kPoisson) {
+      return std::numeric_limits<double>::infinity();  // single eternal state
+    }
+    const double mean_s = on_ ? cfg_.on_s : cfg_.off_s;
+    return exponential() * mean_s * 1e9;
+  }
+
+  void switch_state() {
+    if (on_) on_ns_ += state_end_ns_ - state_start_ns_;
+    t_ns_ = state_end_ns_;
+    state_start_ns_ = state_end_ns_;
+    on_ = !on_;
+    if (on_) ++bursts_;
+    state_end_ns_ = state_start_ns_ + next_sojourn_ns();
+  }
+
+  ArrivalConfig cfg_;
+  Xoroshiro128 rng_;
+  bool on_ = true;
+  double t_ns_ = 0.0;          // process time of the last arrival
+  double state_start_ns_ = 0.0;
+  double state_end_ns_ = 0.0;
+  double on_ns_ = 0.0;         // ON time accumulated over completed sojourns
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t bursts_ = 0;
+};
+
+}  // namespace cpq::workloads

@@ -1,0 +1,142 @@
+// Adversarial key-popularity distributions (arXiv:2305.10872).
+//
+// The paper's grid draws keys uniformly (or monotonically) — every element
+// of the keyspace is equally likely, so relaxed queues never contend on a
+// popular key range. Real workloads are skewed, and "Benchmark Framework
+// with Skewed Workloads" shows relaxed-queue rankings flip once they are:
+//
+//   * ZipfSampler    — ranks 1..n with P(k) ∝ k^-θ, sampled by rejection
+//                      inversion (Hörmann & Derflinger 1996): O(1) per draw
+//                      for any n and any θ > 0, no O(n) table. Rank 1 maps
+//                      to the smallest key, so the popular mass sits at the
+//                      *minimum* end of the queue — the adversarial
+//                      orientation for a priority queue.
+//   * HotspotSampler — x% of draws land uniformly in the bottom y% of the
+//                      keyspace (the "hot" range), the rest uniformly in the
+//                      remainder. The classic YCSB-style hotspot, again
+//                      aligned with the delete_min hot end.
+//
+// Both are deterministic given the caller's RNG stream: the same
+// (seed, thread id) replays the same keys, as everywhere in the harness.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "platform/rng.hpp"
+
+namespace cpq::workloads {
+
+// Rejection-inversion sampling of a bounded Zipf distribution
+// (Hörmann & Derflinger, "Rejection-inversion to generate variates from
+// monotone discrete distributions", ACM TOMACS 1996). Draws rank k in
+// [1, n] with P(k) ∝ k^-theta for any theta > 0 (theta == 1 included),
+// a handful of exp/log per draw and two doubles of state.
+class ZipfSampler {
+ public:
+  ZipfSampler() = default;
+
+  ZipfSampler(std::uint64_t n, double theta)
+      : n_(n == 0 ? 1 : n), theta_(theta) {
+    assert(theta > 0.0);
+    h_x1_ = h_integral(1.5) - 1.0;
+    h_n_ = h_integral(static_cast<double>(n_) + 0.5);
+    s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+  }
+
+  std::uint64_t n() const noexcept { return n_; }
+  double theta() const noexcept { return theta_; }
+
+  // Rank in [1, n]; rank 1 is the most popular.
+  std::uint64_t next(Xoroshiro128& rng) const {
+    if (n_ == 1) return 1;
+    for (;;) {
+      const double u = h_n_ + rng.next_double() * (h_x1_ - h_n_);
+      const double x = h_integral_inverse(u);
+      std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+      const double kd = static_cast<double>(k);
+      if (kd - x <= s_ || u >= h_integral(kd + 0.5) - h(kd)) {
+        return k;
+      }
+    }
+  }
+
+  // Expected probability of rank k (for goodness-of-fit tests): k^-θ / H,
+  // with H the generalized harmonic number over 1..n, computed on demand.
+  double probability(std::uint64_t k) const {
+    double h_sum = 0.0;
+    for (std::uint64_t i = 1; i <= n_; ++i) {
+      h_sum += std::pow(static_cast<double>(i), -theta_);
+    }
+    return std::pow(static_cast<double>(k), -theta_) / h_sum;
+  }
+
+ private:
+  // helper1(x) = log1p(x)/x, helper2(x) = expm1(x)/x, both continuous at 0.
+  static double helper1(double x) {
+    return std::abs(x) > 1e-8 ? std::log1p(x) / x : 1.0 - x / 2.0 + x * x / 3.0;
+  }
+  static double helper2(double x) {
+    return std::abs(x) > 1e-8 ? std::expm1(x) / x : 1.0 + x / 2.0 + x * x / 6.0;
+  }
+
+  // H(x) = ∫ t^-θ dt: (x^(1-θ) - 1)/(1-θ) for θ ≠ 1, ln(x) for θ = 1 —
+  // one branch-free formula via helper2.
+  double h_integral(double x) const {
+    const double log_x = std::log(x);
+    return helper2((1.0 - theta_) * log_x) * log_x;
+  }
+
+  double h(double x) const { return std::exp(-theta_ * std::log(x)); }
+
+  double h_integral_inverse(double x) const {
+    double t = x * (1.0 - theta_);
+    if (t < -1.0) t = -1.0;  // round-off guard at the distribution head
+    return std::exp(helper1(t) * x);
+  }
+
+  std::uint64_t n_ = 1;
+  double theta_ = 1.0;
+  double h_x1_ = 0.0;
+  double h_n_ = 0.0;
+  double s_ = 0.0;
+};
+
+// Hotspot keyspace: a `hot_ops` fraction of draws fall uniformly in the
+// bottom `hot_keys` fraction of [0, span); the rest fall uniformly in the
+// remainder. The hot range sits at the low (minimum) end on purpose.
+class HotspotSampler {
+ public:
+  HotspotSampler() = default;
+
+  HotspotSampler(std::uint64_t span, double hot_ops, double hot_keys)
+      : span_(span == 0 ? 1 : span) {
+    assert(hot_ops >= 0.0 && hot_ops <= 1.0);
+    assert(hot_keys > 0.0 && hot_keys <= 1.0);
+    hot_span_ = static_cast<std::uint64_t>(
+        hot_keys * static_cast<double>(span_));
+    if (hot_span_ == 0) hot_span_ = 1;
+    if (hot_span_ > span_) hot_span_ = span_;
+    hot_ops_ = hot_ops;
+  }
+
+  std::uint64_t span() const noexcept { return span_; }
+  std::uint64_t hot_span() const noexcept { return hot_span_; }
+
+  std::uint64_t next(Xoroshiro128& rng) const {
+    if (hot_span_ >= span_ || rng.next_double() < hot_ops_) {
+      return rng.next_below(hot_span_);
+    }
+    return hot_span_ + rng.next_below(span_ - hot_span_);
+  }
+
+ private:
+  std::uint64_t span_ = 1;
+  std::uint64_t hot_span_ = 1;
+  double hot_ops_ = 0.0;
+};
+
+}  // namespace cpq::workloads

@@ -1,0 +1,22 @@
+// Hard-error path for unknown enum values.
+//
+// The old bench_framework name() helpers fell through to "?" on an
+// unrecognized enum, which would silently benchmark — and label — a cell
+// nobody asked for. A corrupted or unhandled enum value is a programming
+// error, not a configuration to be reported on; abort loudly instead.
+#pragma once
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cpq::workloads {
+
+[[noreturn]] inline void fatal_unknown_enum(const char* context, int value) {
+  std::fprintf(stderr, "cpq: unknown %s enum value %d (corrupted config?)\n",
+               context, value);
+  assert(false && "unknown enum value");
+  std::abort();
+}
+
+}  // namespace cpq::workloads

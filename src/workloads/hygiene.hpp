@@ -1,0 +1,84 @@
+// Anti-artifact bench hygiene (arXiv:2208.08469).
+//
+// "Performance Anomalies in Concurrent Data Structure Microbenchmarks"
+// shows that heap layout and allocator state routinely shift microbenchmark
+// results by more than the effects under study: the same queue measured
+// first or last in a process, or after a different allocation history, can
+// differ by tens of percent with no code change. Three countermeasures:
+//
+//   * LayoutPerturbation — an RAII bundle of randomly sized heap blocks
+//     allocated before the queue under test and held for the repetition.
+//     Each repetition therefore starts from a different allocator free-list
+//     state and base address pattern, turning a layout accident that would
+//     bias *every* repetition the same way into per-repetition noise the
+//     confidence interval captures.
+//   * shuffled prefill — prefill keys generated first, inserted in a
+//     seeded-random order (see harness.hpp), so a queue cannot inherit a
+//     conveniently sorted initial structure from the generator's ordering.
+//   * interleaved execution — running all queues inside one process
+//     lifetime in shuffled order per repetition (bench_common.hpp); the
+//     per-queue spread across repetitions is reported as the layout_*
+//     metric family instead of silently contaminating the mean.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "platform/rng.hpp"
+
+namespace cpq::workloads {
+
+// Randomized allocator/layout perturbation, held for one repetition.
+// Disabled instances cost nothing.
+class LayoutPerturbation {
+ public:
+  LayoutPerturbation() = default;
+
+  LayoutPerturbation(bool enabled, std::uint64_t seed) {
+    if (!enabled) return;
+    Xoroshiro128 rng(seed ^ 0x1a7007ULL);
+    // 16..63 blocks, 1..256 cache lines each (64 B .. 16 KiB): enough to
+    // scramble size-class free lists and page-relative placement without
+    // measurably charging the repetition itself.
+    const std::size_t blocks = 16 + rng.next_below(48);
+    blocks_.reserve(blocks);
+    for (std::size_t i = 0; i < blocks; ++i) {
+      const std::size_t lines = 1 + rng.next_below(256);
+      const std::size_t bytes = lines * 64;
+      auto block = std::make_unique<std::byte[]>(bytes);
+      // Touch one byte per cache line so the pages are really committed and
+      // the block genuinely occupies address space, not just vm reservation.
+      for (std::size_t off = 0; off < bytes; off += 64) {
+        block[off] = std::byte{static_cast<unsigned char>(rng.next())};
+      }
+      blocks_.push_back(std::move(block));
+    }
+    // Free a random half in random order: holes, not just a bigger brk.
+    for (std::size_t i = 0; i < blocks / 2; ++i) {
+      const std::size_t victim = rng.next_below(blocks_.size());
+      blocks_[victim] = std::move(blocks_.back());
+      blocks_.pop_back();
+    }
+  }
+
+  std::size_t blocks() const noexcept { return blocks_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+};
+
+// Seeded Fisher-Yates shuffle used for randomized prefill insertion order
+// and for the interleaved queue-order draw. std::shuffle's results are
+// implementation-defined per standard library; benchmarks need the same
+// permutation on every platform for a given seed.
+template <typename T>
+void deterministic_shuffle(std::vector<T>& items, Xoroshiro128& rng) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    std::swap(items[i - 1], items[j]);
+  }
+}
+
+}  // namespace cpq::workloads

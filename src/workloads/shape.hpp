@@ -1,0 +1,110 @@
+// Workload shapes of the configurable benchmark (paper §2/§F).
+//
+//   * uniform     — every thread performs ~50% insertions and ~50%
+//                   deletions, chosen randomly per operation (the paper's
+//                   "operation distribution" parameter, default 0.5);
+//   * split       — half the threads only insert, the other half only
+//                   delete (stresses inter-thread locality);
+//   * alternating — each thread strictly alternates insert/delete (an
+//                   operation batch size of one);
+//   * batch       — B insertions then B deletions, repeating (the paper's
+//                   §F "operation batch size"; large B approaches the
+//                   Larkin–Sen–Tarjan sorting benchmark);
+//   * pcsplit     — a tunable producer/consumer split: the first
+//                   ceil(producer_fraction * threads) threads only insert,
+//                   the rest only delete. split is the 50/50 special case;
+//                   skewed fractions model ingest-heavy or drain-heavy
+//                   services and pair naturally with hotspot keys.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "platform/rng.hpp"
+#include "workloads/fatal.hpp"
+
+namespace cpq::workloads {
+
+enum class Workload : std::uint8_t {
+  kUniform,
+  kSplit,
+  kAlternating,
+  kBatch,
+  kPcSplit,
+};
+
+inline std::string workload_name(Workload w) {
+  switch (w) {
+    case Workload::kUniform:
+      return "uniform";
+    case Workload::kSplit:
+      return "split";
+    case Workload::kAlternating:
+      return "alternating";
+    case Workload::kBatch:
+      return "batch";
+    case Workload::kPcSplit:
+      return "pcsplit";
+  }
+  fatal_unknown_enum("Workload", static_cast<int>(w));
+}
+
+// Per-thread operation chooser.
+class OpChooser {
+ public:
+  OpChooser(Workload workload, unsigned thread_id, unsigned total_threads,
+            std::uint64_t base_seed, double insert_fraction = 0.5,
+            std::uint64_t batch_size = 1, double producer_fraction = 0.5)
+      : workload_(workload),
+        rng_(thread_seed(base_seed ^ 0x0bc0de5ULL, thread_id)),
+        insert_threshold_(static_cast<std::uint64_t>(
+            insert_fraction * 0x1p64)),
+        batch_size_(batch_size == 0 ? 1 : batch_size),
+        // Split: the first half of the threads insert, the rest delete.
+        // PcSplit generalizes to ceil(producer_fraction * total) producers
+        // (at least one producer and, when the fraction is < 1, at least
+        // one consumer).
+        split_inserter_(
+            workload == Workload::kPcSplit
+                ? thread_id < producer_count(total_threads, producer_fraction)
+                : thread_id < (total_threads + 1) / 2) {}
+
+  static unsigned producer_count(unsigned total_threads,
+                                 double producer_fraction) {
+    auto producers = static_cast<unsigned>(
+        std::ceil(producer_fraction * static_cast<double>(total_threads)));
+    if (producers < 1) producers = 1;
+    if (producers >= total_threads && producer_fraction < 1.0 &&
+        total_threads > 1) {
+      producers = total_threads - 1;
+    }
+    return producers;
+  }
+
+  // True => the next operation is an insert.
+  bool next_is_insert() {
+    switch (workload_) {
+      case Workload::kUniform:
+        return rng_.next() < insert_threshold_;
+      case Workload::kSplit:
+      case Workload::kPcSplit:
+        return split_inserter_;
+      case Workload::kAlternating:
+        return (op_counter_++ & 1) == 0;
+      case Workload::kBatch:
+        return (op_counter_++ / batch_size_) % 2 == 0;
+    }
+    fatal_unknown_enum("Workload", static_cast<int>(workload_));
+  }
+
+ private:
+  Workload workload_;
+  Xoroshiro128 rng_;
+  std::uint64_t insert_threshold_;
+  std::uint64_t batch_size_;
+  bool split_inserter_;
+  std::uint64_t op_counter_ = 0;
+};
+
+}  // namespace cpq::workloads

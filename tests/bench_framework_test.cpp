@@ -63,18 +63,23 @@ TEST(JsonOut, SchemaVersionRoundTripsAndValidates) {
   // The writer stamps the current version on every line.
   const std::string line = to_json_line(
       {"fig1", "mq", "throughput_mops", 2, 1.5, 0.25, 3});
-  EXPECT_NE(line.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(line.find("\"schema_version\":3"), std::string::npos);
   JsonRecord parsed;
   ASSERT_TRUE(parse_json_record(line, parsed));
   EXPECT_EQ(parsed.schema_version, kJsonSchemaVersion);
-  // Version 1 is accepted explicitly as well as implicitly.
+  // Older versions are accepted: 1 explicitly as well as implicitly, 2 (the
+  // pre-workloads schema) explicitly.
   ASSERT_TRUE(parse_json_record(
       R"({"schema_version":1,"experiment":"e","threads":1,"queue":"q","metric":"m","mean":1,"ci95":0,"reps":1})",
       parsed));
   EXPECT_EQ(parsed.schema_version, 1u);
+  ASSERT_TRUE(parse_json_record(
+      R"({"schema_version":2,"experiment":"e","threads":1,"queue":"q","metric":"m","mean":1,"ci95":0,"reps":1})",
+      parsed));
+  EXPECT_EQ(parsed.schema_version, 2u);
   // Future versions and nonsense are schema drift, as are duplicates.
   EXPECT_FALSE(parse_json_record(
-      R"({"schema_version":3,"experiment":"e","threads":1,"queue":"q","metric":"m","mean":1,"ci95":0,"reps":1})",
+      R"({"schema_version":4,"experiment":"e","threads":1,"queue":"q","metric":"m","mean":1,"ci95":0,"reps":1})",
       parsed));
   EXPECT_FALSE(parse_json_record(
       R"({"schema_version":0,"experiment":"e","threads":1,"queue":"q","metric":"m","mean":1,"ci95":0,"reps":1})",

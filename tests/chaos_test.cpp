@@ -77,6 +77,34 @@ TEST(ChaosSchedule, ParsesWorkloadKeysAndScenarios) {
   EXPECT_EQ(schedule.scenarios[2].ppm, 40'000u);
 }
 
+TEST(ChaosSchedule, ParsesHotspotKeying) {
+  ChaosSchedule schedule;
+  std::string error;
+  ASSERT_TRUE(parse_chaos_schedule(
+      "key_space 65536\nhot_ops 0.9\nhot_keys 0.1\n", schedule, error))
+      << error;
+  EXPECT_EQ(schedule.key_space, 65'536u);
+  EXPECT_DOUBLE_EQ(schedule.hot_ops, 0.9);
+  EXPECT_DOUBLE_EQ(schedule.hot_keys, 0.1);
+  // Defaults: uniform keying (hotspot disabled).
+  ChaosSchedule plain;
+  ASSERT_TRUE(parse_chaos_schedule("duration_s 1.0\n", plain, error)) << error;
+  EXPECT_DOUBLE_EQ(plain.hot_ops, 0.0);
+  EXPECT_DOUBLE_EQ(plain.hot_keys, 0.0);
+}
+
+TEST(ChaosSchedule, RejectsBadHotspotConfig) {
+  ChaosSchedule schedule;
+  std::string error;
+  EXPECT_FALSE(parse_chaos_schedule("hot_ops 1.5\n", schedule, error));
+  EXPECT_FALSE(parse_chaos_schedule("hot_keys -0.1\n", schedule, error));
+  // hot_ops without a hot range is meaningless: reject, don't silently
+  // fall back to uniform.
+  EXPECT_FALSE(
+      parse_chaos_schedule("hot_ops 0.9\nhot_keys 0\n", schedule, error));
+  EXPECT_NE(error.find("hot_keys"), std::string::npos) << error;
+}
+
 TEST(ChaosSchedule, InjectThrowDefaultsToTheSubmitSeam) {
   ChaosSchedule schedule;
   std::string error;
@@ -267,6 +295,42 @@ TEST(ChaosCampaign, ShortCampaignRunsGreen) {
     EXPECT_GE(outcome.recovery_ms, 0.0)
         << outcome.name << " never recovered";
   }
+  EXPECT_TRUE(result.ok());
+}
+
+// Same campaign shape with 90% of submissions squeezed into the bottom
+// 0.4% of a small keyspace: every delete_min contends on the hot range
+// while the stall fires, and conservation + recovery must still hold.
+TEST(ChaosCampaign, HotspotKeyedCampaignConservesUnderSkew) {
+  InjectionGuard guard;
+  ChaosSchedule schedule;
+  std::string error;
+  ASSERT_TRUE(parse_chaos_schedule(
+      "duration_s 0.9\n"
+      "baseline_s 0.2\n"
+      "arrival_hz 4000\n"
+      "producers 1\n"
+      "consumers 1\n"
+      "key_space 65536\n"
+      "hot_ops 0.9\n"
+      "hot_keys 0.004\n"
+      "shards 2\n"
+      "ttl_us 100000\n"
+      "breaker_trip_us 1500\n"
+      "window_ms 25\n"
+      "recovery_factor 3\n"
+      "recovery_floor_ms 5\n"
+      "scenario hot-stall start=0.3 dur=0.15 kind=stall_shard shard=0 "
+      "stall_us=3000\n",
+      schedule, error))
+      << error;
+  const ChaosCampaignResult result = run_chaos_campaign(
+      schedule, /*seed=*/43,
+      [](unsigned) { return std::make_unique<Lock>(2); });
+  print_chaos_result(stderr, result);
+  EXPECT_TRUE(result.conservation_ok) << result.conservation;
+  EXPECT_GT(result.submitted, 0u);
+  EXPECT_GT(result.delivered, 0u);
   EXPECT_TRUE(result.ok());
 }
 

@@ -553,10 +553,108 @@ TEST(BenchCli, JsonLinesCarryCurrentSchemaVersion) {
                     "--reps=1 --prefill=200 --json=-",
                     out),
             0);
-  EXPECT_NE(out.find("\"schema_version\":2,"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"schema_version\":3,"), std::string::npos) << out;
   const std::vector<JsonRecord> records = parse_json_lines(out);
   ASSERT_EQ(records.size(), 1u);
   EXPECT_EQ(records[0].schema_version, kJsonSchemaVersion);
+}
+
+// ---- the adversarial workload subsystem through the CLI ------------------
+
+TEST(BenchCli, SkewedKeyDistributionsEmitValidJson) {
+  for (const char* dist : {"zipf:1.1", "hotspot:0.9,0.1", "dijkstra:1,100"}) {
+    SCOPED_TRACE(dist);
+    std::string out;
+    ASSERT_EQ(run_cli("--mode=throughput --queues=glock,mq --threads=1 "
+                      "--ms=5 --reps=1 --prefill=200 --json=- --key-dist=" +
+                          std::string(dist),
+                      out),
+              0);
+    const std::vector<JsonRecord> records = parse_json_lines(out);
+    ASSERT_EQ(records.size(), 2u);
+    for (const JsonRecord& record : records) {
+      EXPECT_EQ(record.metric, "throughput_mops");
+      EXPECT_GT(record.mean, 0.0);
+      EXPECT_EQ(record.schema_version, kJsonSchemaVersion);
+    }
+  }
+}
+
+TEST(BenchCli, MalformedWorkloadSpecsExitWithStatusTwo) {
+  std::string out;
+  EXPECT_EQ(run_cli("--key-dist=zipf:0", out), 2);
+  EXPECT_EQ(run_cli("--key-dist=zipf:1.1,64", out), 2);
+  EXPECT_EQ(run_cli("--key-dist=hotspot:0.9", out), 2);
+  EXPECT_EQ(run_cli("--key-dist=dijkstra:5,2", out), 2);
+  EXPECT_EQ(run_cli("--key-dist=bogus", out), 2);
+  EXPECT_EQ(run_cli("--keys=bogus", out), 2);
+  EXPECT_EQ(run_cli("--arrivals=mmpp:1000,100,10", out), 2);
+  EXPECT_EQ(run_cli("--arrivals=poisson:0", out), 2);
+  EXPECT_EQ(run_cli("--producer-fraction=0", out), 2);
+  EXPECT_EQ(run_cli("--producer-fraction=1.5", out), 2);
+  // Interleaving is a throughput-mode concept; other modes must refuse it
+  // rather than silently ignore the hygiene request.
+  EXPECT_EQ(run_cli("--mode=quality --interleave", out), 2);
+}
+
+TEST(BenchCli, InterleavedModeEmitsLayoutSpreadPerQueue) {
+  std::string out;
+  ASSERT_EQ(run_cli("--mode=throughput --queues=glock,mq --threads=2 --ms=5 "
+                    "--reps=3 --prefill=200 --interleave --json=-",
+                    out),
+            0);
+  EXPECT_NE(out.find("# layout"), std::string::npos) << out;
+  bool saw_throughput = false, saw_spread = false, saw_min = false,
+       saw_max = false;
+  for (const JsonRecord& record : parse_json_lines(out)) {
+    if (record.metric == "throughput_mops") saw_throughput = true;
+    if (record.metric == "layout_spread_pct") {
+      saw_spread = true;
+      EXPECT_GE(record.mean, 0.0);
+    }
+    if (record.metric == "layout_min_mops") saw_min = true;
+    if (record.metric == "layout_max_mops") saw_max = true;
+  }
+  EXPECT_TRUE(saw_throughput) << out;
+  EXPECT_TRUE(saw_spread) << out;
+  EXPECT_TRUE(saw_min) << out;
+  EXPECT_TRUE(saw_max) << out;
+}
+
+TEST(BenchCli, OpenLoopArrivalsEmitBurstDiagnostics) {
+  std::string out;
+  ASSERT_EQ(run_cli("--mode=throughput --queues=mq --threads=2 --ms=20 "
+                    "--reps=1 --prefill=200 "
+                    "--arrivals=mmpp:200000,20000,5,15 --json=-",
+                    out),
+            0);
+  EXPECT_NE(out.find("# burst"), std::string::npos) << out;
+  bool saw_offered = false, saw_on = false, saw_count = false;
+  for (const JsonRecord& record : parse_json_lines(out)) {
+    if (record.metric == "burst_offered_mops") {
+      saw_offered = true;
+      EXPECT_GT(record.mean, 0.0);
+    }
+    if (record.metric == "burst_on_fraction") {
+      saw_on = true;
+      EXPECT_GT(record.mean, 0.0);
+      EXPECT_LE(record.mean, 1.0);
+    }
+    if (record.metric == "burst_count") saw_count = true;
+  }
+  EXPECT_TRUE(saw_offered) << out;
+  EXPECT_TRUE(saw_on) << out;
+  EXPECT_TRUE(saw_count) << out;
+}
+
+TEST(BenchCli, PcSplitWorkloadRunsWithTunableFraction) {
+  std::string out;
+  ASSERT_EQ(run_cli("--mode=throughput --queues=mq --threads=2 --ms=5 "
+                    "--reps=1 --prefill=500 --workload=pcsplit "
+                    "--producer-fraction=0.75 --key-dist=hotspot:0.9,0.1",
+                    out),
+            0);
+  EXPECT_NE(out.find("mq"), std::string::npos);
 }
 
 // Live quality telemetry: with --metrics, a relaxed-queue cell must report

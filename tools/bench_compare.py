@@ -16,7 +16,11 @@ with noise-aware thresholds:
 Only metric families with a known "better" direction are compared
 (throughput up, latency down, bound violations down); counters,
 rank-error estimates, and per-op hardware-counter rates are
-machine/config-dependent and are reported informationally only. Cells
+machine/config-dependent and are reported informationally only. The
+layout_* family (layout-sensitivity spread from interleaved runs) and
+the burst_* family (open-loop MMPP arrival diagnostics) are explicitly
+informational: spread and burst shape characterize the measurement
+environment, not the queue, so they never fail a comparison. Cells
 missing from either side are reported but are not failures: baselines
 are allowed to trail the benchmark matrix.
 
@@ -43,9 +47,15 @@ COMPARED_METRICS = {
     "rank_bound_violations": "down",
 }
 
+# metric-name prefixes that are always informational, never compared --
+# they describe the measurement environment (layout sensitivity, arrival
+# burstiness), not the queue under test.
+INFORMATIONAL_PREFIXES = ("layout_", "burst_", "counter_", "rank_est_",
+                          "perf_")
+
 REQUIRED_KEYS = {"experiment", "queue", "metric", "threads", "mean", "ci95",
                  "reps"}
-MAX_SCHEMA_VERSION = 2
+MAX_SCHEMA_VERSION = 3
 
 
 class ParseError(Exception):
@@ -98,7 +108,13 @@ def compare(baseline, current, threshold):
 
     for key, base in sorted(baseline.items()):
         metric = key[2]
-        direction = COMPARED_METRICS.get(metric)
+        # Informational families take precedence over any direction entry:
+        # layout_/burst_ cells can double without meaning the queue got
+        # worse, only that the environment is layout-sensitive or bursty.
+        if metric.startswith(INFORMATIONAL_PREFIXES):
+            direction = None
+        else:
+            direction = COMPARED_METRICS.get(metric)
         cur = current.get(key)
         if cur is None:
             missing.append(key)
@@ -234,6 +250,20 @@ def self_test():
     r, _, _, _, seeding = compare(base, grown, 0.20)
     assert not r, f"baseline-seeding cell flagged as regression: {r}"
     assert seeding == [new_key], f"seeding cell not reported: {seeding}"
+
+    # 8. layout_*/burst_* cells are informational: a doubled layout spread
+    #    or burst count must never register as a regression.
+    layout_base = dict(base)
+    layout_base[("fig1", "mq", "layout_spread_pct", 4)] = \
+        cell("layout_spread_pct", 4.0)
+    layout_base[("fig1", "mq", "burst_count", 4)] = cell("burst_count", 40.0)
+    layout_worse = {k: dict(v) for k, v in layout_base.items()}
+    layout_worse[("fig1", "mq", "layout_spread_pct", 4)]["mean"] = 8.0
+    layout_worse[("fig1", "mq", "burst_count", 4)]["mean"] = 80.0
+    r, _, skipped, _, _ = compare(layout_base, layout_worse, 0.20)
+    assert not r, f"informational layout_/burst_ cell flagged: {r}"
+    assert len(skipped) == 3, \
+        f"layout_/burst_ cells should be informational-only: {skipped}"
 
     print("bench_compare: self-test passed")
     return 0
