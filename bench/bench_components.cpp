@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "mm/hazard.hpp"
 #include "platform/rng.hpp"
 #include "platform/spinlock.hpp"
+#include "queues/flat_combining.hpp"
 #include "queues/globallock.hpp"
 #include "queues/hunt_heap.hpp"
 #include "queues/klsm/block.hpp"
@@ -147,6 +149,92 @@ void BM_BlockClaimMerge(benchmark::State& state) {
 }
 BENCHMARK(BM_BlockClaimMerge)->Arg(128)->Arg(4096);
 
+// The raw merge kernels, decoupled from slot claiming: scalar oracle vs the
+// branch-free unrolled loop vs the SSE4.2 variant (when the host supports
+// it). Items/sec here bound how fast claim_merge can ever go. The second
+// argument selects the take pattern, which decides the contest: 0 strictly
+// alternates (a branch predictor's best case, flattering the scalar loop),
+// 1 draws both runs from the same uniform distribution — rotating through
+// many distinct input pairs, because repeating ONE random merge lets the
+// predictor memorize its take sequence and report a fantasy number; the
+// k-LSM cascade merges a fresh pattern every time.
+template <int Kernel>
+void BM_MergeKernel(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const bool random_keys = state.range(1) != 0;
+  using Item = std::pair<K, V>;
+  constexpr std::size_t kVariants = 32;
+  std::vector<std::vector<Item>> as, bs;
+  std::vector<Item> out(2 * n);
+  cpq::Xoroshiro128 rng(99);
+  for (std::size_t variant = 0; variant < (random_keys ? kVariants : 1);
+       ++variant) {
+    std::vector<Item> a, b;
+    if (random_keys) {
+      for (std::size_t i = 0; i < n; ++i) {
+        a.emplace_back(rng.next_below(1u << 20), i);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        b.emplace_back(rng.next_below(1u << 20), i);
+      }
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+    } else {
+      for (std::size_t i = 0; i < n; ++i) a.emplace_back(2 * i, i);
+      for (std::size_t i = 0; i < n; ++i) b.emplace_back(2 * i + 1, i);
+    }
+    as.push_back(std::move(a));
+    bs.push_back(std::move(b));
+  }
+  if constexpr (Kernel == 2) {
+#if CPQ_MERGE_HAVE_SSE42_TARGET
+    if (!cpq::klsm_detail::merge_simd_available()) {
+      state.SkipWithError("SSE4.2 not available");
+      return;
+    }
+#else
+    state.SkipWithError("SSE4.2 kernel not compiled in");
+    return;
+#endif
+  }
+  std::size_t which = 0;
+  for (auto _ : state) {
+    const Item* a = as[which].data();
+    const Item* b = bs[which].data();
+    which = (which + 1) % as.size();
+    std::size_t produced = 0;
+    if constexpr (Kernel == 0) {
+      produced =
+          cpq::klsm_detail::merge_sorted_scalar(a, n, b, n, out.data());
+    } else if constexpr (Kernel == 1) {
+      produced =
+          cpq::klsm_detail::merge_sorted_branchfree(a, n, b, n, out.data());
+    } else {
+#if CPQ_MERGE_HAVE_SSE42_TARGET
+      produced = cpq::klsm_detail::merge_sorted_simd(a, n, b, n, out.data());
+#endif
+    }
+    benchmark::DoNotOptimize(produced);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_MergeKernel<0>)
+    ->Args({128, 0})
+    ->Args({4096, 0})
+    ->Args({128, 1})
+    ->Args({4096, 1});
+BENCHMARK(BM_MergeKernel<1>)
+    ->Args({128, 0})
+    ->Args({4096, 0})
+    ->Args({128, 1})
+    ->Args({4096, 1});
+BENCHMARK(BM_MergeKernel<2>)
+    ->Args({128, 0})
+    ->Args({4096, 0})
+    ->Args({128, 1})
+    ->Args({4096, 1});
+
 // ---- order-statistic replay engine ---------------------------------------
 
 void BM_OstInsertErase(benchmark::State& state) {
@@ -188,6 +276,7 @@ BENCHMARK(BM_QueueSteadyState1T<cpq::LindenQueue<K, V>>);
 BENCHMARK(BM_QueueSteadyState1T<cpq::SprayList<K, V>>);
 BENCHMARK(BM_QueueSteadyState1T<cpq::MultiQueue<K, V>>);
 BENCHMARK(BM_QueueSteadyState1T<cpq::HuntHeap<K, V>>);
+BENCHMARK(BM_QueueSteadyState1T<cpq::FcPriorityQueue<K, V>>);
 
 void BM_KlsmSteadyState1T(benchmark::State& state) {
   cpq::KLsmQueue<K, V> queue(1, static_cast<std::uint64_t>(state.range(0)));

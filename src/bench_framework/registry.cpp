@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "queues/cbpq.hpp"
+#include "queues/flat_combining.hpp"
 #include "queues/globallock.hpp"
 #include "queues/hunt_heap.hpp"
 #include "queues/klsm/klsm.hpp"
@@ -121,6 +122,14 @@ std::vector<QueueSpec> build_registry() {
       [](unsigned threads, std::uint64_t seed, const BenchConfig& cfg) {
         (void)seed;
         return std::make_unique<GlobalLockQueue<K, V>>(threads, cfg.prefill);
+      }));
+
+  registry.push_back(make_spec(
+      "fc", "flat-combining sequential heap (strict, single combiner)",
+      /*strict=*/true, /*in_paper=*/false,
+      [](unsigned threads, std::uint64_t seed, const BenchConfig& cfg) {
+        return std::make_unique<FcPriorityQueue<K, V>>(
+            threads, cfg.prefill == 0 ? 1024 : cfg.prefill, seed);
       }));
 
   registry.push_back(make_spec(

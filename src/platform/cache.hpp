@@ -45,4 +45,16 @@ struct Pad {
   char pad[kRemainder == 0 ? kCacheLineSize : kCacheLineSize - kRemainder];
 };
 
+// Read-intent prefetch hint (high temporal locality). Pointer-chasing
+// traversals issue this for the next node while comparing the current one,
+// overlapping the dependent-load miss with useful work. A hint only —
+// incorrect or null addresses are harmless.
+inline void prefetch_read(const void* addr) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/0, /*locality=*/3);
+#else
+  (void)addr;
+#endif
+}
+
 }  // namespace cpq

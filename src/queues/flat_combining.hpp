@@ -1,0 +1,169 @@
+// Flat-combining priority queue (Hendler, Incze, Shavit, Tzafrir, SPAA
+// 2010) — roster name "fc".
+//
+// One sequential binary heap, no lock-free cleverness: each thread
+// publishes its operation into a per-thread publication record and spins;
+// whichever thread holds (or grabs) the combiner lock batch-executes every
+// pending record against the heap. Compared with the plain global lock
+// ("glock") the lock is acquired once per *batch* instead of once per
+// operation, and the heap's cache lines stay hot in the single combiner's
+// core instead of bouncing between every contender — the flat-combining
+// paper's pitch, and the reason this entry serves as the contention-proof
+// baseline for the adversarial workloads: its throughput should *hold*
+// under contention where CAS-based structures start burning retries.
+//
+// Strict semantics: operations take effect at the moment the combiner
+// applies them to the heap (the combining session is the linearization
+// point), so delete_min returns the true minimum of all applied operations
+// — rank error 0, like glock/linden/hunt.
+//
+// Conservation contract (CheckedQueue): an insert is visible to deleters
+// only after the combiner applies it; the publication record handshake
+// (release-store kInsertPending → combiner applies → release-store kIdle)
+// delivers each published operation to the heap exactly once, and a
+// requester never reuses its record before observing completion.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "platform/backoff.hpp"
+#include "platform/cache.hpp"
+#include "platform/spinlock.hpp"
+#include "queues/queue_traits.hpp"
+#include "seq/binary_heap.hpp"
+#include "validation/fault_injection.hpp"
+
+namespace cpq {
+
+template <typename Key, typename Value>
+class FcPriorityQueue {
+ public:
+  using key_type = Key;
+  using value_type = Value;
+
+  explicit FcPriorityQueue(unsigned max_threads,
+                           std::size_t initial_capacity = 1024,
+                           std::uint64_t /*seed*/ = 1)
+      : max_threads_(max_threads == 0 ? 1 : max_threads),
+        records_(std::make_unique<CacheAligned<Record>[]>(max_threads_)),
+        heap_(initial_capacity) {}
+
+  FcPriorityQueue(const FcPriorityQueue&) = delete;
+  FcPriorityQueue& operator=(const FcPriorityQueue&) = delete;
+
+ private:
+  enum : std::uint32_t {
+    kIdle = 0,
+    kInsertPending = 1,
+    kDeletePending = 2,
+    kDone = 3,  // delete executed, result waiting in the record
+  };
+
+  struct Record {
+    std::atomic<std::uint32_t> state{kIdle};
+    Key key{};
+    Value value{};
+    bool hit = false;
+  };
+
+ public:
+  class Handle {
+   public:
+    Handle(FcPriorityQueue& queue, unsigned thread_id)
+        : queue_(&queue), tid_(thread_id % queue.max_threads_) {}
+
+    void insert(Key key, Value value) {
+      Record& record = queue_->record(tid_);
+      record.key = key;
+      record.value = value;
+      // Fault injection: stall between writing the payload and publishing
+      // the request — a combiner must never read a half-written record.
+      CPQ_INJECT("fc.publish");
+      record.state.store(kInsertPending, std::memory_order_release);
+      await(record, kIdle);
+    }
+
+    bool delete_min(Key& key_out, Value& value_out) {
+      Record& record = queue_->record(tid_);
+      CPQ_INJECT("fc.publish");
+      record.state.store(kDeletePending, std::memory_order_release);
+      await(record, kDone);
+      const bool hit = record.hit;
+      if (hit) {
+        key_out = record.key;
+        value_out = record.value;
+      }
+      // Returning the record to kIdle is what allows its reuse; the
+      // combiner never touches a non-pending record, so relaxed is enough.
+      record.state.store(kIdle, std::memory_order_relaxed);
+      return hit;
+    }
+
+   private:
+    // Spin until our record reaches `completed`, volunteering as combiner
+    // whenever the lock is free. A requester that fails the try_lock knows
+    // an active combiner exists, and that combiner must observe our
+    // published record in one of its scan passes or finish and release the
+    // lock, letting us combine ourselves — no lost wakeups.
+    void await(Record& record, std::uint32_t completed) {
+      Backoff backoff(reinterpret_cast<std::uintptr_t>(&record));
+      for (;;) {
+        if (record.state.load(std::memory_order_acquire) == completed) return;
+        if (queue_->combiner_lock_.value.try_lock()) {
+          queue_->combine();
+          queue_->combiner_lock_.value.unlock();
+          if (record.state.load(std::memory_order_acquire) == completed) {
+            return;
+          }
+        }
+        backoff.pause();
+      }
+    }
+
+    FcPriorityQueue* queue_;
+    unsigned tid_;
+  };
+
+  Handle get_handle(unsigned thread_id) { return Handle(*this, thread_id); }
+
+  // Quiescent-only; pending-but-uncombined operations are not counted.
+  std::uint64_t unsafe_size() const { return heap_.size(); }
+
+ private:
+  Record& record(unsigned tid) { return records_[tid].value; }
+
+  // Execute every pending publication record against the heap. Two scan
+  // passes per session: the second batches requesters that published while
+  // the first pass was running, amortizing the lock hold the way the flat
+  // combining paper prescribes.
+  void combine() {
+    // Fault injection: stretch the combining session before any record is
+    // touched — requesters must tolerate an arbitrarily slow combiner.
+    CPQ_INJECT("fc.combine");
+    for (unsigned pass = 0; pass < 2; ++pass) {
+      for (unsigned t = 0; t < max_threads_; ++t) {
+        Record& record = records_[t].value;
+        const std::uint32_t state =
+            record.state.load(std::memory_order_acquire);
+        if (state == kInsertPending) {
+          heap_.insert(record.key, record.value);
+          record.state.store(kIdle, std::memory_order_release);
+        } else if (state == kDeletePending) {
+          record.hit = heap_.delete_min(record.key, record.value);
+          record.state.store(kDone, std::memory_order_release);
+        }
+      }
+    }
+  }
+
+  const unsigned max_threads_;
+  std::unique_ptr<CacheAligned<Record>[]> records_;
+  CacheAligned<Spinlock> combiner_lock_;
+  seq::BinaryHeap<Key, Value> heap_;
+};
+
+static_assert(ConcurrentPriorityQueue<FcPriorityQueue<bench_key, bench_value>>);
+
+}  // namespace cpq

@@ -81,8 +81,8 @@ class ThreadLocalLsm {
     if (staging_cursor_ == kStagingSlots) flush_staging();
     StageSlot& slot = staging_[staging_cursor_++];
     const std::uint64_t epoch = slot.state.load(std::memory_order_relaxed) >> 2;
-    slot.key = key;
-    slot.value = value;
+    slot.key.store(key, std::memory_order_relaxed);
+    slot.value.store(value, std::memory_order_relaxed);
     // Fault injection: stall between writing the payload and publishing the
     // state word — spies must never observe a half-written staged item.
     CPQ_INJECT("dlsm.stage");
@@ -90,16 +90,19 @@ class ThreadLocalLsm {
                      std::memory_order_release);
   }
 
-  // Claim all still-ready staged items into one sorted block.
+  // Claim all still-ready staged items into one sorted block. The scratch
+  // vector is a member (owner-only path), so steady-state flushes reuse its
+  // capacity instead of paying a heap round-trip per kStagingSlots inserts.
   void flush_staging() {
-    std::vector<std::pair<Key, Value>> items;
+    std::vector<std::pair<Key, Value>>& items = flush_scratch_;
+    items.clear();
     items.reserve(kStagingSlots);
     for (std::uint32_t i = 0; i < staging_cursor_; ++i) {
       StageSlot& slot = staging_[i];
       std::uint64_t word = slot.state.load(std::memory_order_acquire);
       if ((word & 3) != kStageReady) continue;  // stolen by a spy
-      const Key key = slot.key;
-      const Value value = slot.value;
+      const Key key = slot.key.load(std::memory_order_relaxed);
+      const Value value = slot.value.load(std::memory_order_relaxed);
       // Fault injection: widen the load-to-CAS window a spy races through.
       CPQ_INJECT("dlsm.flush_claim");
       if (slot.state.compare_exchange_strong(
@@ -112,14 +115,19 @@ class ThreadLocalLsm {
     if (items.empty()) return;
     std::sort(items.begin(), items.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
-    insert_block(BlockT::create(std::move(items)));
+    insert_block(BlockT::create(items.data(),
+                                static_cast<std::uint32_t>(items.size())));
   }
 
   // Insert an already-sorted batch as one block (used when re-homing spied
-  // items).
+  // items). The span overload lets callers keep their scratch buffer.
+  void insert_sorted(const std::pair<Key, Value>* items, std::uint32_t n) {
+    if (n == 0) return;
+    insert_block(BlockT::create(items, n));
+  }
+
   void insert_sorted(std::vector<std::pair<Key, Value>>&& items) {
-    if (items.empty()) return;
-    insert_block(BlockT::create(std::move(items)));
+    insert_sorted(items.data(), static_cast<std::uint32_t>(items.size()));
   }
 
   // Claim the local minimum. Returns false when the local LSM is empty.
@@ -151,7 +159,7 @@ class ThreadLocalLsm {
       const std::uint64_t word =
           staging_[i].state.load(std::memory_order_acquire);
       if ((word & 3) != kStageReady) continue;
-      const Key key = staging_[i].key;
+      const Key key = staging_[i].key.load(std::memory_order_relaxed);
       if (!found || key < out.key) {
         found = true;
         out.staged = true;
@@ -170,8 +178,8 @@ class ThreadLocalLsm {
   bool claim_peeked(const PeekResult& peeked, Key& key_out, Value& value_out) {
     if (peeked.staged) {
       StageSlot& slot = staging_[peeked.slot];
-      const Key key = slot.key;
-      const Value value = slot.value;
+      const Key key = slot.key.load(std::memory_order_relaxed);
+      const Value value = slot.value.load(std::memory_order_relaxed);
       std::uint64_t expected = peeked.stage_word;
       if (!slot.state.compare_exchange_strong(
               expected, (expected & ~std::uint64_t{3}) | kStageTaken,
@@ -251,8 +259,8 @@ class ThreadLocalLsm {
       StageSlot& slot = staging_[i];
       std::uint64_t word = slot.state.load(std::memory_order_acquire);
       if ((word & 3) != kStageReady) continue;
-      const Key key = slot.key;
-      const Value value = slot.value;
+      const Key key = slot.key.load(std::memory_order_relaxed);
+      const Value value = slot.value.load(std::memory_order_relaxed);
       // Fault injection: the mirror of dlsm.flush_claim, from the spy side.
       CPQ_INJECT("dlsm.steal");
       if (slot.state.compare_exchange_strong(
@@ -285,16 +293,19 @@ class ThreadLocalLsm {
   // Merge trailing blocks while capacities collide. Claim-merged blocks
   // replace their sources in the (owner-private, unpublished) array.
   static void merge_cascade(ArrayT& array) {
+    thread_local std::vector<std::pair<Key, Value>> merged_items;
     while (array.count >= 2) {
       BlockT* last = array.blocks[array.count - 1];
       BlockT* prev = array.blocks[array.count - 2];
       if (prev->capacity() > last->capacity()) break;
-      auto merged_items = claim_merge(*prev, *last);
+      claim_merge_into(*prev, *last, merged_items);
       prev->unref();
       last->unref();
       array.count -= 2;
       if (!merged_items.empty()) {
-        array.blocks[array.count++] = BlockT::create(std::move(merged_items));
+        array.blocks[array.count++] = BlockT::create(
+            merged_items.data(),
+            static_cast<std::uint32_t>(merged_items.size()));
       }
     }
   }
@@ -311,15 +322,24 @@ class ThreadLocalLsm {
     }
   }
 
+  // The payload fields are relaxed atomics because staged slots are a
+  // seqlock: spies read key/value between an acquire load of `state` and
+  // the epoch-validating CAS that claims the slot, concurrently with the
+  // owner rewriting a reused slot. The CAS (its release half orders the
+  // preceding relaxed loads before it) rejects any read that overlapped a
+  // rewrite — but the overlapping loads still need to be atomic to be
+  // defined behavior. For the 64-bit keys/values every queue instantiates,
+  // these compile to the same plain moves as before.
   struct StageSlot {
-    Key key{};
-    Value value{};
+    std::atomic<Key> key{};
+    std::atomic<Value> value{};
     std::atomic<std::uint64_t> state{0};
   };
 
   std::atomic<ArrayT*> published_{nullptr};
   StageSlot staging_[kStagingSlots];
   std::uint32_t staging_cursor_ = 0;  // owner-thread access only
+  std::vector<std::pair<Key, Value>> flush_scratch_;  // owner-thread only
 };
 
 }  // namespace cpq::klsm_detail

@@ -103,11 +103,14 @@ class KLsmQueue {
    private:
     static constexpr unsigned kMaxRounds = 8;
 
-    // Claim-move the items of a random victim's DLSM into our own.
+    // Claim-move the items of a random victim's DLSM into our own. The
+    // scratch buffer is a handle member: spy() fires on every empty-looking
+    // delete_min, and reusing the capacity keeps that path allocation-free.
     bool spy() {
       KLsmQueue& q = *queue_;
       if (q.max_threads_ <= 1) return false;
-      std::vector<std::pair<Key, Value>> stolen;
+      std::vector<std::pair<Key, Value>>& stolen = spy_scratch_;
+      stolen.clear();
       {
         mm::EbrDomain::Guard guard;
         const unsigned start = static_cast<unsigned>(
@@ -123,13 +126,15 @@ class KLsmQueue {
       if (stolen.empty()) return false;
       std::sort(stolen.begin(), stolen.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
-      queue_->local(tid_).insert_sorted(std::move(stolen));
+      queue_->local(tid_).insert_sorted(
+          stolen.data(), static_cast<std::uint32_t>(stolen.size()));
       return true;
     }
 
     KLsmQueue* queue_;
     unsigned tid_;
     Xoroshiro128 rng_;
+    std::vector<std::pair<Key, Value>> spy_scratch_;
   };
 
   Handle get_handle(unsigned thread_id) { return Handle(*this, thread_id); }

@@ -52,17 +52,24 @@ class Slsm {
 
   std::uint64_t relaxation() const noexcept { return k_; }
 
+  // Single-item structural insert: builds the one-slot block straight from
+  // the stack — no one-element std::vector heap round-trip per op.
   void insert(Key key, Value value) {
-    std::vector<std::pair<Key, Value>> one;
-    one.emplace_back(key, value);
-    insert_batch(std::move(one));
+    const std::pair<Key, Value> one[1] = {{key, value}};
+    publish_fresh(BlockT::create(one, 1));
   }
 
   // Insert a sorted batch as one block, merge the cascade, recompute pivots
   // and publish. Serialized against other inserters.
   void insert_batch(std::vector<std::pair<Key, Value>>&& sorted_items) {
     if (sorted_items.empty()) return;
-    BlockT* fresh = BlockT::create(std::move(sorted_items));
+    publish_fresh(BlockT::create(sorted_items.data(),
+                                 static_cast<std::uint32_t>(sorted_items.size())));
+  }
+  // Carry the live blocks of the published array plus `fresh` into a new
+  // array, merge, recompute pivots, publish, retire the old snapshot.
+  // Shared by insert() and insert_batch(); serialized by the insert lock.
+  void publish_fresh(BlockT* fresh) {
     std::lock_guard<Spinlock> lock(insert_lock_.value);
     ArrayT* old_array = published_.load(std::memory_order_relaxed);
     ArrayT* next = ArrayT::create();
@@ -208,16 +215,22 @@ class Slsm {
   static constexpr unsigned kClaimProbes = 8;
 
   static void merge_cascade(ArrayT& array) {
+    // Reused merge scratch: the cascade runs under the insert lock but the
+    // buffer is thread-local, so capacity survives across cascades and the
+    // steady-state merge allocates only the pooled result block.
+    thread_local std::vector<std::pair<Key, Value>> merged_items;
     while (array.count >= 2) {
       BlockT* last = array.blocks[array.count - 1];
       BlockT* prev = array.blocks[array.count - 2];
       if (prev->capacity() > last->capacity()) break;
-      auto merged_items = claim_merge(*prev, *last);
+      claim_merge_into(*prev, *last, merged_items);
       prev->unref();
       last->unref();
       array.count -= 2;
       if (!merged_items.empty()) {
-        array.blocks[array.count++] = BlockT::create(std::move(merged_items));
+        array.blocks[array.count++] = BlockT::create(
+            merged_items.data(),
+            static_cast<std::uint32_t>(merged_items.size()));
       }
     }
   }

@@ -60,10 +60,13 @@ class DlsmQueue {
     }
 
    private:
+    // Reuses the handle-owned scratch buffer across spy() calls, exactly
+    // like the composed k-LSM's handle.
     bool spy() {
       DlsmQueue& q = *queue_;
       if (q.max_threads_ <= 1) return false;
-      std::vector<std::pair<Key, Value>> stolen;
+      std::vector<std::pair<Key, Value>>& stolen = spy_scratch_;
+      stolen.clear();
       {
         mm::EbrDomain::Guard guard;
         const unsigned start =
@@ -79,13 +82,15 @@ class DlsmQueue {
       if (stolen.empty()) return false;
       std::sort(stolen.begin(), stolen.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
-      queue_->locals_[tid_].value.insert_sorted(std::move(stolen));
+      queue_->locals_[tid_].value.insert_sorted(
+          stolen.data(), static_cast<std::uint32_t>(stolen.size()));
       return true;
     }
 
     DlsmQueue* queue_;
     unsigned tid_;
     Xoroshiro128 rng_;
+    std::vector<std::pair<Key, Value>> spy_scratch_;
   };
 
   Handle get_handle(unsigned thread_id) { return Handle(*this, thread_id); }

@@ -192,6 +192,10 @@ class SkiplistBase {
         const std::uintptr_t curr_word =
             curr->next[level].load(std::memory_order_acquire);
         Node* next = unpack(curr_word);
+        // Start pulling the successor while we compare/snip curr: the
+        // traversal is a dependent-load chain, and the next hop's header
+        // line is the one miss we can overlap with this iteration.
+        if (next != nullptr) prefetch_read(next);
         if (is_marked(curr)) {
           // Snip curr out of this level (preserving pred's own level-0 mark
           // bit). Failure means pred's chain changed; reload and continue.

@@ -153,6 +153,195 @@ TEST(Block, ConcurrentMergeAndClaimDeliverExactlyOnce) {
   }
 }
 
+// ---- merge kernels (merge_kernel.hpp) ------------------------------------
+//
+// The branch-free and SIMD kernels must be byte-for-byte substitutes for
+// the scalar oracle: same output, same stable tie-break (ties take from the
+// first run). claim_merge edge cases ride along since it now feeds the
+// kernels via drain-then-merge.
+
+using Item = std::pair<K, V>;
+
+std::vector<Item> run_kernel_scalar(const std::vector<Item>& a,
+                                    const std::vector<Item>& b) {
+  std::vector<Item> out(a.size() + b.size());
+  const std::size_t n = merge_sorted_scalar(a.data(), a.size(), b.data(),
+                                            b.size(), out.data());
+  EXPECT_EQ(n, out.size());
+  return out;
+}
+
+std::vector<Item> run_kernel_branchfree(const std::vector<Item>& a,
+                                        const std::vector<Item>& b) {
+  std::vector<Item> out(a.size() + b.size());
+  const std::size_t n = merge_sorted_branchfree(a.data(), a.size(), b.data(),
+                                                b.size(), out.data());
+  EXPECT_EQ(n, out.size());
+  return out;
+}
+
+TEST(MergeKernel, EmptyInputs) {
+  const std::vector<Item> empty;
+  const std::vector<Item> some = make_items({1, 2, 3});
+  EXPECT_TRUE(run_kernel_branchfree(empty, empty).empty());
+  EXPECT_EQ(run_kernel_branchfree(some, empty), some);
+  EXPECT_EQ(run_kernel_branchfree(empty, some), some);
+#if CPQ_MERGE_HAVE_SSE42_TARGET
+  if (merge_simd_available()) {
+    std::vector<Item> out(some.size());
+    ASSERT_EQ(merge_sorted_simd(some.data(), some.size(), empty.data(), 0,
+                                out.data()),
+              some.size());
+    EXPECT_EQ(out, some);
+  }
+#endif
+}
+
+TEST(MergeKernel, StableOnDuplicateKeys) {
+  // Values encode provenance: ties must take every `a` element before any
+  // `b` element with the same key, and preserve within-run order.
+  std::vector<Item> a{{5, 1}, {5, 2}, {7, 3}};
+  std::vector<Item> b{{5, 100}, {6, 101}, {7, 102}};
+  const std::vector<Item> expected{{5, 1}, {5, 2}, {5, 100},
+                                   {6, 101}, {7, 3}, {7, 102}};
+  EXPECT_EQ(run_kernel_scalar(a, b), expected);
+  EXPECT_EQ(run_kernel_branchfree(a, b), expected);
+#if CPQ_MERGE_HAVE_SSE42_TARGET
+  if (merge_simd_available()) {
+    std::vector<Item> out(a.size() + b.size());
+    ASSERT_EQ(
+        merge_sorted_simd(a.data(), a.size(), b.data(), b.size(), out.data()),
+        expected.size());
+    EXPECT_EQ(out, expected);
+  }
+#endif
+}
+
+// Randomized equivalence: every fast kernel must reproduce the scalar
+// oracle exactly, including heavily duplicated keys and skewed run lengths.
+TEST(MergeKernel, FastKernelsMatchScalarOracleFuzz) {
+  Xoroshiro128 rng(0xF00D);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t na = rng.next_below(97);
+    const std::size_t nb = rng.next_below(97);
+    // Small key range forces duplicate keys within and across runs.
+    const K key_range = 1 + rng.next_below(24);
+    std::vector<Item> a, b;
+    for (std::size_t i = 0; i < na; ++i) {
+      a.emplace_back(rng.next_below(key_range), 1000 + i);
+    }
+    for (std::size_t i = 0; i < nb; ++i) {
+      b.emplace_back(rng.next_below(key_range), 2000 + i);
+    }
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    const auto oracle = run_kernel_scalar(a, b);
+    EXPECT_EQ(run_kernel_branchfree(a, b), oracle);
+    const auto dispatched = [&] {
+      std::vector<Item> out(na + nb);
+      EXPECT_EQ(
+          merge_sorted(a.data(), na, b.data(), nb, out.data()), na + nb);
+      return out;
+    }();
+    EXPECT_EQ(dispatched, oracle);
+#if CPQ_MERGE_HAVE_SSE42_TARGET
+    if (merge_simd_available()) {
+      std::vector<Item> out(na + nb);
+      ASSERT_EQ(merge_sorted_simd(a.data(), na, b.data(), nb, out.data()),
+                na + nb);
+      EXPECT_EQ(out, oracle);
+    }
+#endif
+  }
+}
+
+TEST(MergeKernel, ClaimMergeBothBlocksEmptyAfterClaims) {
+  BlockT* a = BlockT::create(make_items({1, 2}));
+  BlockT* b = BlockT::create(make_items({3}));
+  for (std::uint32_t i = 0; i < a->slot_count(); ++i) ASSERT_TRUE(a->claim(i));
+  for (std::uint32_t i = 0; i < b->slot_count(); ++i) ASSERT_TRUE(b->claim(i));
+  auto merged = claim_merge(*a, *b);
+  EXPECT_TRUE(merged.empty());
+  a->unref();
+  b->unref();
+}
+
+TEST(MergeKernel, ClaimMergeExactSizeNoOverAllocation) {
+  // The old path reserved live_estimate(a) + live_estimate(b), which counts
+  // already-claimed slots; the drain-then-merge path must size the result
+  // exactly to what it actually claimed.
+  BlockT* a = BlockT::create(make_items({1, 2, 3, 4, 5, 6, 7, 8}));
+  BlockT* b = BlockT::create(make_items({10, 11, 12, 13}));
+  for (std::uint32_t i = 2; i < 8; ++i) ASSERT_TRUE(a->claim(i));
+  ASSERT_TRUE(b->claim(0));
+  auto merged = claim_merge(*a, *b);
+  ASSERT_EQ(merged.size(), 5u);  // {1, 2} + {11, 12, 13}
+  EXPECT_EQ(merged.capacity(), merged.size());
+  std::vector<K> keys;
+  for (auto& [k, v] : merged) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<K>{1, 2, 11, 12, 13}));
+  a->unref();
+  b->unref();
+}
+
+TEST(MergeKernel, ClaimMergeStabilityAcrossBlocks) {
+  // Duplicate keys across the two blocks: the first block's items must
+  // precede the second's (values encode provenance).
+  std::vector<Item> ia{{5, 0}, {5, 1}};
+  std::vector<Item> ib{{5, 100}, {5, 101}};
+  BlockT* a = BlockT::create(std::move(ia));
+  BlockT* b = BlockT::create(std::move(ib));
+  auto merged = claim_merge(*a, *b);
+  const std::vector<Item> expected{{5, 0}, {5, 1}, {5, 100}, {5, 101}};
+  EXPECT_EQ(merged, expected);
+  a->unref();
+  b->unref();
+}
+
+// The kernel-backed claim_merge against racing claimants under fault
+// injection pressure (block.claim / block.drain seams widened when compiled
+// with CPQ_FAULT_INJECTION; plain build exercises the same race window):
+// exactly-once delivery must hold regardless of which kernel ran.
+TEST(MergeKernel, ConcurrentKernelMergeConservesUnderRacingClaims) {
+  for (int round = 0; round < 10; ++round) {
+    constexpr std::uint32_t n = 1024;
+    std::vector<Item> ia, ib;
+    for (std::uint32_t i = 0; i < n; ++i) ia.emplace_back(i % 64, i);
+    for (std::uint32_t i = 0; i < n; ++i) ib.emplace_back(i % 64, n + i);
+    std::sort(ia.begin(), ia.end());
+    std::sort(ib.begin(), ib.end());
+    BlockT* a = BlockT::create(std::move(ia));
+    BlockT* b = BlockT::create(std::move(ib));
+
+    std::vector<Item> merged;
+    std::vector<V> stolen;
+    run_team(2, [&](unsigned tid) {
+      if (tid == 0) {
+        merged = claim_merge(*a, *b);
+      } else {
+        for (std::uint32_t i = 0; i < n; i += 3) {
+          if (a->claim(i)) stolen.push_back(a->slot(i).value);
+          if (b->claim(i)) stolen.push_back(b->slot(i).value);
+        }
+      }
+    });
+    EXPECT_TRUE(std::is_sorted(merged.begin(), merged.end()));
+    std::set<V> all;
+    std::size_t total = 0;
+    for (auto& [k, v] : merged) {
+      EXPECT_TRUE(all.insert(v).second);
+      ++total;
+    }
+    for (V v : stolen) {
+      EXPECT_TRUE(all.insert(v).second);
+      ++total;
+    }
+    ASSERT_EQ(total, 2 * n);
+    a->unref();
+    b->unref();
+  }
+}
+
 TEST(BlockArray, FindMinAcrossBlocks) {
   ArrayT* array = ArrayT::create();
   array->blocks[array->count++] = BlockT::create(make_items({10, 20, 30, 40}));

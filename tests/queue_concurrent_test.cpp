@@ -18,6 +18,7 @@
 #include "platform/rng.hpp"
 #include "platform/thread_util.hpp"
 #include "queues/cbpq.hpp"
+#include "queues/flat_combining.hpp"
 #include "queues/globallock.hpp"
 #include "queues/hunt_heap.hpp"
 #include "queues/klsm/klsm.hpp"
@@ -99,13 +100,18 @@ template <>
 std::unique_ptr<ChunkBasedQueue<K, V>> make_queue(unsigned threads) {
   return std::make_unique<ChunkBasedQueue<K, V>>(threads);
 }
+template <>
+std::unique_ptr<FcPriorityQueue<K, V>> make_queue(unsigned threads) {
+  return std::make_unique<FcPriorityQueue<K, V>>(threads);
+}
 
 using QueueTypes =
     ::testing::Types<GlobalLockQueue<K, V>, LindenQueue<K, V>, HuntHeap<K, V>,
                      SprayList<K, V>, MultiQueue<K, V>, MqPairing, MqDary,
                      KLsmQueue<K, V>, DlsmQueue<K, V>, SlsmQueue<K, V>,
                      ShavitLotanQueue<K, V>, SundellTsigasQueue<K, V>,
-                     Mound<K, V>, ChunkBasedQueue<K, V>>;
+                     Mound<K, V>, ChunkBasedQueue<K, V>,
+                     FcPriorityQueue<K, V>>;
 
 template <typename Q>
 class QueueConcurrentTest : public ::testing::Test {};

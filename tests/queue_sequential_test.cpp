@@ -18,6 +18,7 @@
 
 #include "platform/rng.hpp"
 #include "queues/cbpq.hpp"
+#include "queues/flat_combining.hpp"
 #include "queues/globallock.hpp"
 #include "queues/hunt_heap.hpp"
 #include "queues/klsm/klsm.hpp"
@@ -158,12 +159,22 @@ struct QueueTraits<ChunkBasedQueue<K, V>> {
   static std::uint64_t rank_bound(unsigned) { return 0; }
 };
 
+template <>
+struct QueueTraits<FcPriorityQueue<K, V>> {
+  static auto make(unsigned threads) {
+    return std::make_unique<FcPriorityQueue<K, V>>(threads);
+  }
+  static constexpr bool kStrict = true;
+  static std::uint64_t rank_bound(unsigned) { return 0; }
+};
+
 using QueueTypes =
     ::testing::Types<GlobalLockQueue<K, V>, LindenQueue<K, V>, HuntHeap<K, V>,
                      SprayList<K, V>, MultiQueue<K, V>, KLsmQueue<K, V>,
                      DlsmQueue<K, V>, SlsmQueue<K, V>,
                      ShavitLotanQueue<K, V>, SundellTsigasQueue<K, V>,
-                     Mound<K, V>, ChunkBasedQueue<K, V>>;
+                     Mound<K, V>, ChunkBasedQueue<K, V>,
+                     FcPriorityQueue<K, V>>;
 
 template <typename Q>
 class QueueSequentialTest : public ::testing::Test {};

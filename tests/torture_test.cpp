@@ -28,6 +28,7 @@
 #include "platform/rng.hpp"
 #include "platform/thread_util.hpp"
 #include "queues/cbpq.hpp"
+#include "queues/flat_combining.hpp"
 #include "queues/globallock.hpp"
 #include "queues/hunt_heap.hpp"
 #include "queues/klsm/klsm.hpp"
@@ -137,13 +138,18 @@ template <>
 std::unique_ptr<ChunkBasedQueue<K, V>> make_queue(unsigned threads) {
   return std::make_unique<ChunkBasedQueue<K, V>>(threads);
 }
+template <>
+std::unique_ptr<FcPriorityQueue<K, V>> make_queue(unsigned threads) {
+  return std::make_unique<FcPriorityQueue<K, V>>(threads);
+}
 
 using QueueTypes =
     ::testing::Types<GlobalLockQueue<K, V>, LindenQueue<K, V>, HuntHeap<K, V>,
                      SprayList<K, V>, MultiQueue<K, V>, MqPairing, MqDary,
                      MqEng, KLsmQueue<K, V>, DlsmQueue<K, V>, SlsmQueue<K, V>,
                      ShavitLotanQueue<K, V>, SundellTsigasQueue<K, V>,
-                     Mound<K, V>, ChunkBasedQueue<K, V>>;
+                     Mound<K, V>, ChunkBasedQueue<K, V>,
+                     FcPriorityQueue<K, V>>;
 
 constexpr V value_of(unsigned tid, std::uint64_t i) {
   return (static_cast<V>(tid + 1) << 32) | i;
@@ -341,6 +347,121 @@ TEST_F(EngMqTortureTest, InjectedLockAndBufferSeamsStayConservative) {
   contended_mix(eng_config(/*stickiness=*/4, /*buffer=*/4), 0x704A);
   EXPECT_GT(validation::fault_injections_fired(), before)
       << "mq_eng.* injection seams compiled in but never crossed";
+}
+
+// ---- k-LSM merge path: drain-then-merge kernel and pooled blocks ---------
+
+// The typed suite covers the k-LSM under uniform injection; this fixture
+// focuses every firing on the merge path's own seams — block.claim /
+// block.drain (the claim-move transfer the new kernel path drives),
+// slsm.publish / dlsm.publish (array replacement while merges run), and
+// arena.alloc (the pooled block storage) — at a 5% rate, the same targeted
+// pattern EngMqTortureTest uses for the buffer seams.
+class KLsmTortureTest : public ::testing::Test {
+ protected:
+  void TearDown() override { validation::fault_injection_configure(0, 42); }
+
+  template <typename Q>
+  void contended_mix(std::uint64_t seed, std::uint64_t relaxation) {
+    constexpr unsigned kThreads = 4;
+    constexpr std::uint64_t kOpsPerThread = 6000;
+    validation::CheckedQueue<Q> queue(
+        kThreads, std::make_unique<Q>(kThreads, relaxation));
+    run_team(kThreads, [&](unsigned tid) {
+      auto handle = queue.get_handle(tid);
+      Xoroshiro128 rng(thread_seed(seed, tid));
+      std::uint64_t inserted = 0;
+      for (std::uint64_t op = 0; op < kOpsPerThread; ++op) {
+        if (rng.next_below(100) < 60) {
+          handle.insert(rng.next_below(1u << 10), value_of(tid, inserted++));
+        } else {
+          K k;
+          V v;
+          handle.delete_min(k, v);
+        }
+      }
+    });
+    const validation::ReconcileReport report = queue.reconcile();
+    EXPECT_TRUE(report.ok()) << report.to_string();
+    EXPECT_GT(report.inserted, 0u);
+  }
+};
+
+TEST_F(KLsmTortureTest, InjectedClaimAndDrainSeamsStayConservative) {
+  validation::fault_injection_configure(/*ppm=*/50'000, /*seed=*/0x7050,
+                                        validation::FaultAction::kDelay,
+                                        "block.");
+  const std::uint64_t before = validation::fault_injections_fired();
+  // Small k maximizes merge-cascade crossings per op.
+  contended_mix<KLsmQueue<K, V>>(0x7051, /*relaxation=*/16);
+  EXPECT_GT(validation::fault_injections_fired(), before)
+      << "block.claim/block.drain seams compiled in but never crossed";
+}
+
+TEST_F(KLsmTortureTest, InjectedPublishSeamsStayConservative) {
+  validation::fault_injection_configure(/*ppm=*/50'000, /*seed=*/0x7052,
+                                        validation::FaultAction::kDelay,
+                                        "lsm.publish");  // slsm + dlsm
+  const std::uint64_t before = validation::fault_injections_fired();
+  contended_mix<KLsmQueue<K, V>>(0x7053, /*relaxation=*/64);
+  EXPECT_GT(validation::fault_injections_fired(), before)
+      << "slsm.publish/dlsm.publish seams compiled in but never crossed";
+}
+
+TEST_F(KLsmTortureTest, InjectedArenaSeamStaysConservative) {
+  validation::fault_injection_configure(/*ppm=*/50'000, /*seed=*/0x7054,
+                                        validation::FaultAction::kDelay,
+                                        "arena.");
+  const std::uint64_t before = validation::fault_injections_fired();
+  contended_mix<KLsmQueue<K, V>>(0x7055, /*relaxation=*/128);
+  EXPECT_GT(validation::fault_injections_fired(), before)
+      << "arena.alloc seam compiled in but never crossed";
+}
+
+TEST_F(KLsmTortureTest, StandaloneComponentsUnderMergeSeamInjection) {
+  validation::fault_injection_configure(/*ppm=*/50'000, /*seed=*/0x7056,
+                                        validation::FaultAction::kDelay,
+                                        "block.");
+  contended_mix<SlsmQueue<K, V>>(0x7057, /*relaxation=*/16);
+}
+
+// ---- flat-combining queue: combiner handoff seams ------------------------
+
+// The typed suite runs the fc queue under uniform injection; this focuses
+// on the publication-record handshake (fc.publish between payload write and
+// the pending store, fc.combine stretching the combining session).
+class FcTortureTest : public ::testing::Test {
+ protected:
+  void TearDown() override { validation::fault_injection_configure(0, 42); }
+};
+
+TEST_F(FcTortureTest, CombinerHandoffSeamsStayConservative) {
+  validation::fault_injection_configure(/*ppm=*/50'000, /*seed=*/0x7058,
+                                        validation::FaultAction::kDelay,
+                                        "fc.");
+  const std::uint64_t before = validation::fault_injections_fired();
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kOpsPerThread = 6000;
+  validation::CheckedQueue<FcPriorityQueue<K, V>> queue(
+      kThreads, std::make_unique<FcPriorityQueue<K, V>>(kThreads));
+  run_team(kThreads, [&](unsigned tid) {
+    auto handle = queue.get_handle(tid);
+    Xoroshiro128 rng(thread_seed(0x7059, tid));
+    std::uint64_t inserted = 0;
+    for (std::uint64_t op = 0; op < kOpsPerThread; ++op) {
+      if (rng.next_below(100) < 60) {
+        handle.insert(rng.next_below(1u << 10), value_of(tid, inserted++));
+      } else {
+        K k;
+        V v;
+        handle.delete_min(k, v);
+      }
+    }
+  });
+  const validation::ReconcileReport report = queue.reconcile();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(validation::fault_injections_fired(), before)
+      << "fc.publish/fc.combine seams compiled in but never crossed";
 }
 
 // ---- the PriorityService layer over every roster queue -------------------
