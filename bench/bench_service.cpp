@@ -22,39 +22,63 @@
 //   CPQ_BREAKER_TRIP_US  per-shard circuit-breaker trip latency (0 = off)
 //   CPQ_RETRY_LIMIT      submit_with_retry attempt cap
 //
-// Chaos mode (the only argv mode):
+// Chaos mode:
 //   bench_service --chaos=FILE [--queue=glock|mq]
 // runs the declarative fault campaign in FILE (see src/validation/chaos.hpp
 // for the format) instead of the sweep, and exits 0/1/2 per
 // bench/chaos_driver.hpp.
+//
+// Telemetry flags (shared with cpq_bench_cli; see bench/telemetry_cli.hpp):
+//   --telemetry-hz=HZ --timeseries-out=FILE --prom-out=FILE --slo=SPEC
+// sample live service metrics on a background thread during the sweep or
+// chaos campaign; the dependent flags exit 2 without --telemetry-hz > 0.
+// Chaos campaigns sampled with --slo additionally report a measured
+// slo_recovery_ms per scenario.
 
 #include <cstdlib>
 #include <cstring>
 
 #include "bench_common.hpp"
 #include "chaos_driver.hpp"
+#include "telemetry_cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace cpq::bench;
 
   std::string chaos_file;
   std::string chaos_queue = "mq";
+  TelemetryCliOptions telemetry;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    const int telemetry_parse =
+        parse_telemetry_flag(arg, "bench_service", telemetry);
+    if (telemetry_parse == 2) return 2;
+    if (telemetry_parse == 1) continue;
     if (std::strncmp(arg, "--chaos=", 8) == 0) {
       chaos_file = arg + 8;
     } else if (std::strncmp(arg, "--queue=", 8) == 0) {
       chaos_queue = arg + 8;
     } else {
       std::fprintf(stderr,
-                   "usage: bench_service [--chaos=FILE [--queue=glock|mq]]\n");
+                   "usage: bench_service [--chaos=FILE [--queue=glock|mq]]\n"
+                   "                     [--telemetry-hz=HZ] "
+                   "[--timeseries-out=FILE]\n"
+                   "                     [--prom-out=FILE] [--slo=SPEC]\n");
       return 2;
     }
+  }
+  if (const int rc = validate_telemetry_options(telemetry, "bench_service")) {
+    return rc;
   }
 
   const Options options = options_from_env();
   if (!chaos_file.empty()) {
-    return run_chaos_from_file(chaos_file, chaos_queue, options.seed);
+    telemetry_begin(telemetry);
+    const int chaos_rc =
+        run_chaos_from_file(chaos_file, chaos_queue, options.seed);
+    const int telemetry_rc =
+        telemetry_finish(telemetry, "chaos", "bench_service");
+    return chaos_rc != 0 ? chaos_rc : telemetry_rc;
   }
 
   print_bench_header("bench_service",
@@ -105,5 +129,11 @@ int main(int argc, char** argv) {
         static_cast<unsigned>(std::strtoul(retries, nullptr, 10));
   }
 
-  return service_table("service", cfg, options, roster_from_env()) ? 0 : 1;
+  telemetry_begin(telemetry);
+  int rc = service_table("service", cfg, options, roster_from_env()) ? 0 : 1;
+  if (telemetry_finish(telemetry, "service", "bench_service") != 0 &&
+      rc == 0) {
+    rc = 1;
+  }
+  return rc;
 }

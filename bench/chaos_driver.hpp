@@ -68,6 +68,13 @@ inline void emit_chaos_json(const std::string& label,
     // status "failed" with mean -1 so trajectory tooling can spot it.
     emit("chaos_recovery_ms:" + outcome.name, outcome.recovery_ms,
          outcome.recovery_ms >= 0.0);
+    // Informational second opinion from the telemetry plane (first clean
+    // SLO snapshot after the clear); only present when the run was sampled
+    // with an --slo spec. Prefixed slo_ so bench_compare treats it as
+    // informational rather than a gating metric.
+    if (outcome.slo_recovery_ms >= 0.0) {
+      emit("slo_recovery_ms:" + outcome.name, outcome.slo_recovery_ms, true);
+    }
   }
 }
 

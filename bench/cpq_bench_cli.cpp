@@ -42,7 +42,18 @@
 //                             histograms)
 //   --trace-out=FILE          write the sampled op-trace rings as Chrome
 //                             trace-event JSON (chrome://tracing, Perfetto)
-//                             at run end
+//                             at run end; with --telemetry-hz the telemetry
+//                             snapshots ride along as ph:"C" counter tracks
+//   --telemetry-hz=HZ         sample live metrics at HZ on a background
+//                             thread (default 0 = off, zero overhead)
+//   --timeseries-out=FILE     write the telemetry samples as JSON Lines
+//                             (schema v4; needs --telemetry-hz)
+//   --prom-out=FILE           Prometheus-style text dump of final totals
+//                             (needs --telemetry-hz)
+//   --slo=SPEC                per-sample objectives with burn-rate breach
+//                             tracking, e.g. p99_sojourn_us<500,shed_pct<1
+//                             (grammar: src/obs/slo.hpp; needs
+//                             --telemetry-hz)
 //   --dump-traces             dump the op-trace rings to stderr at normal
 //                             run end (the watchdog already dumps on stall)
 //   --force-stall             deliberately trip the progress watchdog and
@@ -72,6 +83,7 @@
 #include "bench_framework/latency.hpp"
 #include "chaos_driver.hpp"
 #include "obs/chrome_trace.hpp"
+#include "telemetry_cli.hpp"
 #include "workloads/spec.hpp"
 
 namespace {
@@ -150,7 +162,9 @@ int usage(const char* argv0) {
                "          [--arrival-hz=N] [--checked] [--json[=path]] "
                "[--metrics]\n"
                "          [--trace-out=FILE] [--dump-traces] "
-               "[--force-stall] [--chaos=FILE] [--list]\n",
+               "[--force-stall] [--chaos=FILE] [--list]\n"
+               "          [--telemetry-hz=HZ] [--timeseries-out=FILE]\n"
+               "          [--prom-out=FILE] [--slo=SPEC]\n",
                argv0);
   return 2;
 }
@@ -231,9 +245,14 @@ int main(int argc, char** argv) {
   bool dump_traces = false;
   std::string trace_out;
   std::string chaos_file;
+  TelemetryCliOptions telemetry;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
+    const int telemetry_parse =
+        parse_telemetry_flag(argv[i], "cpq_bench_cli", telemetry);
+    if (telemetry_parse == 2) return 2;
+    if (telemetry_parse == 1) continue;
     if (std::strcmp(argv[i], "--list") == 0) {
       return list_registry();
     }
@@ -379,6 +398,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (const int rc = validate_telemetry_options(telemetry, "cpq_bench_cli")) {
+    return rc;
+  }
+
   bool ok = true;
   BenchConfig cfg = base_config(options);
   cfg.workload = parse_workload(workload_text, ok);
@@ -406,17 +429,25 @@ int main(int argc, char** argv) {
 
   if (!chaos_file.empty()) {
     // Chaos mode replaces the sweep entirely. The shard queue comes from
-    // --queues when it names a chaos-capable engine; mq otherwise.
+    // --queues when it names a chaos-capable engine; mq otherwise. The
+    // telemetry plane brackets the campaign so scenarios gain the measured
+    // slo_recovery_ms second opinion.
     std::string chaos_queue = "mq";
     if (!roster.empty() &&
         (roster.front()->name == "glock" || roster.front()->name == "mq")) {
       chaos_queue = roster.front()->name;
     }
-    return run_chaos_from_file(chaos_file, chaos_queue, options.seed);
+    telemetry_begin(telemetry);
+    const int chaos_rc =
+        run_chaos_from_file(chaos_file, chaos_queue, options.seed);
+    const int telemetry_rc =
+        telemetry_finish(telemetry, "chaos", "cpq_bench_cli");
+    return chaos_rc != 0 ? chaos_rc : telemetry_rc;
   }
 
   print_bench_header("cpq_bench_cli", "parameterizable benchmark (§F)",
                      options);
+  telemetry_begin(telemetry);
 
   // Failed cells set rc but do not return early: the trace export below
   // still runs, so a failing sweep leaves its diagnostics behind.
@@ -524,16 +555,21 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   }
 
-  // End-of-run observability: the rings hold each worker slice's sampled
-  // tail (they survive worker-thread exit; see MetricsRegistry).
+  // End-of-run observability: stop the sampler and flush its artifacts
+  // first, then export the trace — the retained telemetry ring feeds the
+  // Perfetto counter tracks alongside the op events.
+  if (telemetry_finish(telemetry, mode, "cpq_bench_cli") != 0 && rc == 0) {
+    rc = 1;
+  }
   if (dump_traces) {
     cpq::obs::MetricsRegistry::global().dump(stderr);
   }
   if (!trace_out.empty()) {
     if (std::FILE* f = std::fopen(trace_out.c_str(), "w")) {
-      const double ns_per_tick = cpq::obs::calibrate_ns_per_tick();
+      const cpq::obs::TelemetryPlane* plane =
+          telemetry.enabled() ? &cpq::obs::TelemetryPlane::global() : nullptr;
       const std::size_t events = cpq::obs::write_chrome_trace(
-          f, cpq::obs::MetricsRegistry::global(), ns_per_tick);
+          f, cpq::obs::MetricsRegistry::global(), plane);
       std::fclose(f);
       std::printf("# trace: wrote %zu sampled op events to %s\n", events,
                   trace_out.c_str());

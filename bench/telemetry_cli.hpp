@@ -1,0 +1,221 @@
+// Shared CLI wiring for the telemetry plane (obs/timeseries.hpp). Both
+// bench drivers (cpq_bench_cli, bench_service) accept the same flags:
+//
+//   --telemetry-hz=HZ      background sampling rate (default 0 = off; the
+//                          off path costs one relaxed load per hook and no
+//                          thread — bench_compare strict runs stay clean)
+//   --timeseries-out=FILE  write the sampled records as JSON Lines
+//                          (schema_version=4, "kind":"telemetry"; validate
+//                          with tools/check_timeseries.py)
+//   --prom-out=FILE        write a Prometheus-style text dump of the final
+//                          totals at exit
+//   --slo=SPEC             declarative objectives evaluated per sample
+//                          (grammar in obs/slo.hpp, e.g.
+//                          "p99_sojourn_us<500,shed_pct<1")
+//
+// The dependent flags are rejected (exit 2) without --telemetry-hz > 0:
+// silently accepting them would produce empty artifacts that look like
+// measurements. Summary lines and ts_*/slo_* JSON records ride the normal
+// sinks; bench_compare.py treats both prefixes as informational.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_framework/json_out.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
+
+namespace cpq::bench {
+
+struct TelemetryCliOptions {
+  double hz = 0.0;  // 0 = plane never starts
+  std::string timeseries_out;
+  std::string prom_out;
+  std::string slo_spec;
+  std::vector<obs::SloObjective> objectives;
+
+  bool enabled() const noexcept { return hz > 0.0; }
+};
+
+namespace telemetry_cli_detail {
+
+inline bool parse_value(const char* arg, const char* name,
+                        std::string& value) {
+  const std::size_t len = std::char_traits<char>::length(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    value.assign(arg + len + 1);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace telemetry_cli_detail
+
+// Try to consume `arg` as a telemetry flag. Returns 0 when it is not one
+// (the caller continues its own parsing), 1 when parsed into `opts`, and 2
+// when it is a telemetry flag with a malformed value (diagnostic printed;
+// the caller should exit 2 without measuring anything).
+inline int parse_telemetry_flag(const char* arg, const char* prog,
+                                TelemetryCliOptions& opts) {
+  using telemetry_cli_detail::parse_value;
+  std::string value;
+  if (parse_value(arg, "--telemetry-hz", value)) {
+    char* end = nullptr;
+    errno = 0;
+    const double hz =
+        value.empty() ? -1.0 : std::strtod(value.c_str(), &end);
+    if (value.empty() || errno != 0 ||
+        end != value.c_str() + value.size() || !(hz >= 0.0) ||
+        hz > 10000.0) {
+      std::fprintf(stderr,
+                   "%s: invalid value for --telemetry-hz: '%s' "
+                   "(want a rate 0 .. 10000)\n",
+                   prog, value.c_str());
+      return 2;
+    }
+    opts.hz = hz;
+    return 1;
+  }
+  if (parse_value(arg, "--timeseries-out", value)) {
+    if (value.empty()) {
+      std::fprintf(stderr,
+                   "%s: invalid value for --timeseries-out: '' "
+                   "(want a file path)\n",
+                   prog);
+      return 2;
+    }
+    opts.timeseries_out = value;
+    return 1;
+  }
+  if (parse_value(arg, "--prom-out", value)) {
+    if (value.empty()) {
+      std::fprintf(stderr,
+                   "%s: invalid value for --prom-out: '' "
+                   "(want a file path)\n",
+                   prog);
+      return 2;
+    }
+    opts.prom_out = value;
+    return 1;
+  }
+  if (parse_value(arg, "--slo", value)) {
+    const auto parsed = obs::parse_slo_spec(value);
+    if (!parsed) {
+      std::fprintf(stderr,
+                   "%s: invalid value for --slo: '%s' (want "
+                   "metric<num[,metric>num...]; metrics: ",
+                   prog, value.c_str());
+      for (const char* name : obs::kSloMetricNames) {
+        std::fprintf(stderr, "%s ", name);
+      }
+      std::fprintf(stderr, ")\n");
+      return 2;
+    }
+    opts.slo_spec = value;
+    opts.objectives = *parsed;
+    return 1;
+  }
+  return 0;
+}
+
+// Cross-flag rule, checked after the whole argv is parsed: the export and
+// SLO flags have no effect without sampling, so requiring --telemetry-hz
+// makes the mistake loud instead of producing empty artifacts.
+inline int validate_telemetry_options(const TelemetryCliOptions& opts,
+                                      const char* prog) {
+  if (opts.enabled()) return 0;
+  const char* orphan = nullptr;
+  if (!opts.timeseries_out.empty()) orphan = "--timeseries-out";
+  if (!opts.prom_out.empty()) orphan = "--prom-out";
+  if (!opts.slo_spec.empty()) orphan = "--slo";
+  if (orphan != nullptr) {
+    std::fprintf(stderr, "%s: %s requires --telemetry-hz > 0\n", prog,
+                 orphan);
+    return 2;
+  }
+  return 0;
+}
+
+// Start the plane for a sweep. No-op when sampling is off.
+inline void telemetry_begin(const TelemetryCliOptions& opts) {
+  if (!opts.enabled()) return;
+  obs::TelemetryPlane& plane = obs::TelemetryPlane::global();
+  plane.reset();
+  if (!opts.objectives.empty()) plane.set_slo(opts.objectives);
+  plane.start(opts.hz);
+}
+
+// Stop the plane, print the "# telemetry" summary (complete lines before
+// any JSON records — the sink may share stdout), emit ts_*/slo_* records,
+// and write the requested artifacts. Returns 0, or 1 when an output file
+// could not be written (the run's measurements still stand).
+inline int telemetry_finish(const TelemetryCliOptions& opts,
+                            const std::string& experiment, const char* prog) {
+  if (!opts.enabled()) return 0;
+  obs::TelemetryPlane& plane = obs::TelemetryPlane::global();
+  plane.stop();
+  int rc = 0;
+  const std::uint64_t samples = plane.sample_count();
+  const std::uint64_t dropped = plane.dropped();
+  std::printf("# telemetry: %llu samples @ %g Hz (%llu overwritten)\n",
+              static_cast<unsigned long long>(samples), opts.hz,
+              static_cast<unsigned long long>(dropped));
+  if (plane.slo_configured()) {
+    plane.with_slo(
+        [](const obs::SloTracker& slo) { slo.dump(stdout); });
+  }
+
+  const auto emit = [&](const std::string& metric, double mean) {
+    JsonSink::instance().record(
+        {experiment, "telemetry", metric, 0, mean, 0.0, 1});
+  };
+  emit("ts_samples", static_cast<double>(samples));
+  emit("ts_dropped", static_cast<double>(dropped));
+  if (plane.slo_configured()) {
+    plane.with_slo([&](const obs::SloTracker& slo) {
+      for (std::size_t i = 0; i < slo.size(); ++i) {
+        const obs::SloTracker::ObjectiveState& st = slo.state(i);
+        const std::string spec = st.objective.to_string();
+        emit("slo_samples:" + spec, static_cast<double>(st.samples));
+        emit("slo_bad:" + spec, static_cast<double>(st.bad));
+        emit("slo_episodes:" + spec, static_cast<double>(st.episodes));
+        emit("slo_breach_ms:" + spec,
+             static_cast<double>(slo.breach_ns(i, st.last_t_ns)) / 1e6);
+      }
+    });
+  }
+
+  if (!opts.timeseries_out.empty()) {
+    if (std::FILE* f = std::fopen(opts.timeseries_out.c_str(), "w")) {
+      const std::size_t lines = plane.write_jsonl(f);
+      std::fclose(f);
+      std::printf("# telemetry: wrote %zu time-series records to %s\n",
+                  lines, opts.timeseries_out.c_str());
+    } else {
+      std::fprintf(stderr, "%s: cannot write --timeseries-out=%s\n", prog,
+                   opts.timeseries_out.c_str());
+      rc = 1;
+    }
+  }
+  if (!opts.prom_out.empty()) {
+    if (std::FILE* f = std::fopen(opts.prom_out.c_str(), "w")) {
+      plane.write_prometheus(f);
+      std::fclose(f);
+      std::printf("# telemetry: wrote Prometheus dump to %s\n",
+                  opts.prom_out.c_str());
+    } else {
+      std::fprintf(stderr, "%s: cannot write --prom-out=%s\n", prog,
+                   opts.prom_out.c_str());
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+}  // namespace cpq::bench

@@ -31,7 +31,12 @@ namespace cpq::bench {
 //       runs) and burst_* (open-loop MMPP arrival diagnostics) metric
 //       families emitted by the workloads subsystem. Both are
 //       informational: bench_compare.py never treats them as regressions.
-inline constexpr unsigned kJsonSchemaVersion = 3;
+//   4 — the telemetry plane: introduces the ts_* (time-series sampler
+//       totals) and slo_* (SLO burn/breach accounting) informational metric
+//       families, and is shared with the standalone telemetry time-series
+//       JSONL export (obs/timeseries.hpp writes "kind":"telemetry" lines
+//       stamped with the same schema_version).
+inline constexpr unsigned kJsonSchemaVersion = 4;
 
 struct JsonRecord {
   std::string experiment;  // e.g. "fig1_uniform_uniform"

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <cstdint>
@@ -170,6 +171,92 @@ class LogHistogram {
   double sum_ = 0.0;
   std::uint64_t min_ = ~std::uint64_t{0};
   std::uint64_t max_ = 0;
+};
+
+// Multi-writer variant for live sampling: identical bucket geometry, but
+// every bucket is a relaxed atomic so worker threads can record while the
+// telemetry sampler reads concurrently — race-free under TSan by
+// construction. Costs one lock-prefixed add per record (vs LogHistogram's
+// plain add), so it is only fed when telemetry is actually on.
+//
+// No min/max/sum tracking: the sampler derives windowed quantiles purely
+// from bucket deltas (window_stats below), and exact extremes would need
+// CAS loops on the hot path for a value the quantized max already
+// approximates to ~3%.
+class AtomicLogHistogram {
+ public:
+  static constexpr unsigned kBuckets = LogHistogram::kBuckets;
+
+  void record(std::uint64_t value) noexcept {
+    buckets_[LogHistogram::bucket_index(value)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  // Copy the current bucket counts into `out[kBuckets]`.
+  void load_buckets(std::uint64_t* out) const noexcept {
+    for (unsigned i = 0; i < kBuckets; ++i) {
+      out[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+  }
+
+  std::uint64_t count() const noexcept {
+    std::uint64_t n = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+      n += buckets_[i].load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+  void reset() noexcept {
+    for (unsigned i = 0; i < kBuckets; ++i) {
+      buckets_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+// Compact quantile summary of one sampling window, computed from the
+// difference of two cumulative bucket snapshots (cur - prev, element-wise).
+// Bucket counts are monotone per bucket (recorders only add), so the delta
+// is a valid histogram of exactly the values recorded in the window. Values
+// are bucket representatives: quantized to <= ~3% like LogHistogram, and
+// `max` is the representative of the highest populated bucket.
+struct HistogramWindow {
+  std::uint64_t count = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t max = 0;
+
+  static HistogramWindow from_delta(const std::uint64_t* cur,
+                                    const std::uint64_t* prev) noexcept {
+    HistogramWindow w;
+    unsigned highest = 0;
+    for (unsigned i = 0; i < LogHistogram::kBuckets; ++i) {
+      const std::uint64_t d = cur[i] - prev[i];
+      if (d != 0) {
+        w.count += d;
+        highest = i;
+      }
+    }
+    if (w.count == 0) return w;
+    w.max = LogHistogram::representative(highest);
+    const auto rank_value = [&](double q) {
+      const double raw = std::ceil(q * static_cast<double>(w.count));
+      std::uint64_t rank = raw <= 1.0 ? 1 : static_cast<std::uint64_t>(raw);
+      rank = std::min(rank, w.count);
+      std::uint64_t cumulative = 0;
+      for (unsigned i = 0; i < LogHistogram::kBuckets; ++i) {
+        cumulative += cur[i] - prev[i];
+        if (cumulative >= rank) return LogHistogram::representative(i);
+      }
+      return w.max;
+    };
+    w.p50 = rank_value(0.50);
+    w.p99 = rank_value(0.99);
+    return w;
+  }
 };
 
 static_assert(LogHistogram::bucket_index(0) == 0);

@@ -35,6 +35,11 @@ namespace cpq {
 // steady_clock::period as std::nano); the harnesses still calibrate ticks
 // against a wall-clock Stopwatch per repetition, so only monotonicity is
 // assumed, not the unit.
+//
+// To place one of these timestamps on the shared monotonic-ns timeline
+// (aligning it with telemetry records, Chrome trace events, and service
+// deadlines), use platform/clock.hpp's TscClock::to_ns — the process-wide
+// calibration every exporter shares.
 inline std::uint64_t fast_timestamp() noexcept {
 #if defined(__x86_64__)
   unsigned aux;

@@ -69,6 +69,7 @@
 // not through these seams).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
@@ -676,6 +677,55 @@ class PriorityService {
           static_cast<double>(refill_fill) / static_cast<double>(out.refills);
     }
     return out;
+  }
+
+  // Telemetry gauge snapshot: fills an obs::GaugeSet-shaped sink (templated
+  // so this header stays independent of obs/timeseries.hpp) from the same
+  // relaxed atomics stats() reads. Allocation-free and safe to call from the
+  // telemetry sampler thread while workers run — every field it touches is
+  // an atomic or a breaker accessor. Gauge names must be string literals
+  // (GaugeSet stores the pointers).
+  template <typename GaugeSetT>
+  void fill_gauges(GaugeSetT& g) const {
+    g.set("submitted", static_cast<double>(
+                           submitted_.load(std::memory_order_relaxed)));
+    g.set("delivered", static_cast<double>(
+                           delivered_.load(std::memory_order_relaxed)));
+    g.set("rejected",
+          static_cast<double>(rejected_.load(std::memory_order_relaxed) +
+                              tier_rejected_.load(std::memory_order_relaxed)));
+    g.set("shed", static_cast<double>(
+                      shed_deadline_.load(std::memory_order_relaxed)));
+    g.set("in_flight",
+          static_cast<double>(in_flight_.load(std::memory_order_relaxed)));
+    g.set("reroutes",
+          static_cast<double>(reroutes_.load(std::memory_order_relaxed)));
+    g.set("deadline_flushes", static_cast<double>(deadline_flushes_.load(
+                                  std::memory_order_relaxed)));
+    std::uint64_t flushes = 0;
+    std::uint64_t refills = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t trips = 0;
+    std::size_t breakers_open = 0;
+    std::size_t size_max = 0;
+    for (const auto& aligned : shards_) {
+      const Shard& shard = aligned.value;
+      flushes += shard.flushes.load(std::memory_order_relaxed);
+      refills += shard.refills.load(std::memory_order_relaxed);
+      steals += shard.steals.load(std::memory_order_relaxed);
+      trips += shard.breaker.trips();
+      if (shard.breaker.state() != CircuitBreaker::State::kClosed) {
+        ++breakers_open;
+      }
+      size_max = std::max(size_max,
+                          shard.size.load(std::memory_order_relaxed));
+    }
+    g.set("flushes", static_cast<double>(flushes));
+    g.set("refills", static_cast<double>(refills));
+    g.set("steals", static_cast<double>(steals));
+    g.set("breaker_trips", static_cast<double>(trips));
+    g.set("breakers_open", static_cast<double>(breakers_open));
+    g.set("shard_size_max", static_cast<double>(size_max));
   }
 
   // Human-readable per-shard counter dump; installed as the watchdog's

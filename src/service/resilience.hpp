@@ -22,17 +22,16 @@
 #include <limits>
 #include <vector>
 
+#include "platform/clock.hpp"
+
 namespace cpq::service {
 
-// Steady-clock microseconds since an arbitrary epoch. Deadlines and breaker
-// budgets are compared within one process run, so the epoch never matters;
-// steady_clock keeps them immune to wall-clock adjustment.
-inline std::uint64_t steady_now_us() noexcept {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+// Steady-clock microseconds on the canonical monotonic timeline
+// (platform/clock.hpp). Deadlines and breaker budgets are compared within
+// one process run, so the epoch never matters; sharing monotonic_us() with
+// the telemetry/trace exporters makes service-layer timestamps directly
+// comparable to TelemetryRecord::t_ns and Chrome trace event times.
+inline std::uint64_t steady_now_us() noexcept { return monotonic_us(); }
 
 // Fixed-capacity pool of (value, deadline) slots with a Treiber-stack free
 // list. acquire() pops a free slot and fills it; take() reads a slot back and

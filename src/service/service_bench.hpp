@@ -39,8 +39,10 @@
 #include "bench_framework/keygen.hpp"
 #include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "platform/backoff.hpp"
 #include "platform/cache.hpp"
+#include "platform/clock.hpp"
 #include "platform/rng.hpp"
 #include "platform/thread_util.hpp"
 #include "platform/timing.hpp"
@@ -148,13 +150,31 @@ void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
             obs::RankEstimator::global().dump(out);
           }));
 
-  // Calibrate fast_timestamp ticks against wall time for this run.
-  const std::uint64_t tsc0 = fast_timestamp();
-  Stopwatch calibration;
+  // fast_timestamp ticks -> ns via the process-wide TscClock calibration
+  // (shared with the telemetry sampler and the Chrome trace exporter, so
+  // every artifact sits on the same timeline).
+  const double ns_per_tick = tsc_clock().ns_per_tick();
   std::vector<obs::LogHistogram> delete_ticks(threads);
 
-  std::vector<CacheAligned<std::uint64_t>> submitted(threads);
-  std::vector<CacheAligned<std::uint64_t>> delivered(threads);
+  // Single-writer per-thread totals, atomic so the telemetry sampler may
+  // read them live (each worker mirrors its plain local counter with a
+  // relaxed store; nobody else writes the slot).
+  std::vector<CacheAligned<std::atomic<std::uint64_t>>> submitted(threads);
+  std::vector<CacheAligned<std::atomic<std::uint64_t>>> delivered(threads);
+  // While the plane samples, expose the live worker totals as gauges; the
+  // sampler derives submitted_per_s / delivered_per_s from their deltas.
+  // Registered after the vectors so it unregisters (and quiesces against
+  // the sampler's lock) before they are destroyed.
+  obs::ScopedTelemetryProvider worker_gauges([&](obs::GaugeSet& g) {
+    std::uint64_t sub = 0;
+    std::uint64_t del = 0;
+    for (unsigned tid = 0; tid < threads; ++tid) {
+      sub += submitted[tid].value.load(std::memory_order_relaxed);
+      del += delivered[tid].value.load(std::memory_order_relaxed);
+    }
+    g.set("submitted", static_cast<double>(sub));
+    g.set("delivered", static_cast<double>(del));
+  });
   // Effective arrival model: the structured config wins; the legacy scalar
   // arrival_hz maps onto plain Poisson.
   workloads::ArrivalConfig arrival_cfg = cfg.arrivals;
@@ -172,6 +192,11 @@ void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
       if (cfg.pin_threads) pin_to_core(tid);
       auto handle = engine.get_handle(tid);
       auto& log = logs[tid];
+      // Hoisted: the plane starts before and stops after the run, so one
+      // acquire load decides the whole loop. plane_on == false is the
+      // default path and must stay free of telemetry work.
+      obs::TelemetryPlane& plane = obs::TelemetryPlane::global();
+      const bool plane_on = plane.active();
       if (tid < cfg.producers) {
         bench::KeyGenerator gen(cfg.keys, cfg.seed, tid);
         std::optional<workloads::ArrivalProcess> arrival;
@@ -179,6 +204,7 @@ void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
           arrival.emplace(arrival_cfg, cfg.seed ^ 0xa441a1, tid);
         }
         std::uint64_t counter = 0;
+        std::uint64_t my_submitted = 0;
         barrier.arrive_and_wait();
         Stopwatch watch;
         bool stopped = false;
@@ -216,12 +242,12 @@ void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
             if (cfg.measure_quality) {
               log.push_back({fast_timestamp(), key, id, true});
             }
-            ++submitted[tid].value;
+            submitted[tid].value.store(++my_submitted,
+                                       std::memory_order_relaxed);
+            if (plane_on) plane.note_submit(id, fast_timestamp());
           }
-          progress[tid].tick(submitted[tid].value,
-                             validation::LastOp::kInsert);
-          CPQ_TRACE_OP(submitted[tid].value, ::cpq::obs::TraceOp::kInsert,
-                       key);
+          progress[tid].tick(my_submitted, validation::LastOp::kInsert);
+          CPQ_TRACE_OP(my_submitted, ::cpq::obs::TraceOp::kInsert, key);
         }
         if (arrival) {
           on_fraction[tid].value = arrival->on_time_fraction();
@@ -230,6 +256,7 @@ void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
       } else {
         auto& my_ticks = delete_ticks[tid];
         std::uint64_t ops = 0;
+        std::uint64_t my_delivered = 0;
         barrier.arrive_and_wait();
         while (!stop.load(std::memory_order_relaxed)) {
           std::uint64_t key = 0;
@@ -238,7 +265,11 @@ void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
           if (cfg.measure_latency) {
             const std::uint64_t start = fast_timestamp();
             hit = handle.delete_min(key, id);
-            if (hit) my_ticks.record(fast_timestamp() - start);
+            if (hit) {
+              const std::uint64_t end = fast_timestamp();
+              my_ticks.record(end - start);
+              if (plane_on) plane.record_latency_ticks(end - start);
+            }
           } else {
             hit = handle.delete_min(key, id);
           }
@@ -246,7 +277,9 @@ void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
             if (cfg.measure_quality) {
               log.push_back({fast_timestamp(), key, id, false});
             }
-            ++delivered[tid].value;
+            delivered[tid].value.store(++my_delivered,
+                                       std::memory_order_relaxed);
+            if (plane_on) plane.note_delivery(id, fast_timestamp());
           } else {
             cpu_relax();
           }
@@ -278,8 +311,8 @@ void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
   watchdog.stop();
 
   for (unsigned tid = 0; tid < threads; ++tid) {
-    result.submitted += submitted[tid].value;
-    result.delivered += delivered[tid].value;
+    result.submitted += submitted[tid].value.load(std::memory_order_relaxed);
+    result.delivered += delivered[tid].value.load(std::memory_order_relaxed);
   }
   if (arrival_cfg.enabled() && cfg.producers > 0) {
     double on_sum = 0.0;
@@ -291,8 +324,6 @@ void open_loop_run(Engine& engine, const ServiceBenchConfig& cfg,
   }
   obs::MetricsRegistry::global().add_cell_ops(result.submitted +
                                               result.delivered);
-  const double ns_per_tick = static_cast<double>(calibration.elapsed_ns()) /
-                             static_cast<double>(fast_timestamp() - tsc0);
   if (cfg.measure_latency) {
     for (unsigned tid = cfg.producers; tid < threads; ++tid) {
       result.delete_ns.add_scaled(delete_ticks[tid], ns_per_tick);
@@ -388,6 +419,11 @@ ServiceBenchResult run_open_loop_service(Factory&& make_queue,
   if (cfg.checked) {
     validation::CheckedQueue<Service> checked(threads, make_service());
     Service& service = checked.inner();
+    // Service-layer gauges (in_flight, shed, breaker state, shard sizes)
+    // feed the telemetry sampler while the run is live; the scope unregisters
+    // before the service is destroyed.
+    obs::ScopedTelemetryProvider service_gauges(
+        [&service](obs::GaugeSet& g) { service.fill_gauges(g); });
     detail::open_loop_run(
         checked, cfg, [&service](std::FILE* out) { service.dump_stats(out); },
         logs, result);
@@ -408,6 +444,8 @@ ServiceBenchResult run_open_loop_service(Factory&& make_queue,
   } else {
     auto service = make_service();
     Service& ref = *service;
+    obs::ScopedTelemetryProvider service_gauges(
+        [&ref](obs::GaugeSet& g) { ref.fill_gauges(g); });
     detail::open_loop_run(
         *service, cfg, [&ref](std::FILE* out) { ref.dump_stats(out); }, logs,
         result);

@@ -50,6 +50,7 @@
 
 #include "obs/histogram.hpp"
 #include "obs/rank_estimator.hpp"
+#include "obs/timeseries.hpp"
 #include "platform/rng.hpp"
 #include "platform/thread_util.hpp"
 #include "service/priority_service.hpp"
@@ -72,6 +73,12 @@ struct ChaosScenarioOutcome {
   double recovery_ms = -1.0;  // -1 = p99 never came back within bounds
   double fault_p99_ms = 0.0;  // sojourn p99 over the fault window
   std::uint64_t rank_violations = 0;  // attributed to this fault's bracket
+  // Independent recovery measurement from the telemetry plane: time from
+  // fault clear to the first sampled snapshot with every SLO objective
+  // clean (slo_breached mask == 0). -1 when the plane was not sampling
+  // with an --slo spec, or when no clean snapshot followed the clear.
+  // Informational — never part of ok().
+  double slo_recovery_ms = -1.0;
 };
 
 struct ChaosCampaignResult {
@@ -187,6 +194,10 @@ auto run_chaos_campaign(const ChaosSchedule& schedule, std::uint64_t seed,
   std::vector<WorkerProgress> progress(workers);
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> submit_faults{0};
+  // Campaign zero on the shared monotonic-ns timeline (set by the
+  // controller at barrier release) — anchors schedule offsets to telemetry
+  // record timestamps for the SLO-recovery scan below.
+  std::atomic<std::uint64_t> campaign_t0_ns{0};
   SpinBarrier barrier(workers + 1);
   const std::uint64_t duration_us =
       static_cast<std::uint64_t>(schedule.duration_s * 1e6);
@@ -270,6 +281,12 @@ auto run_chaos_campaign(const ChaosSchedule& schedule, std::uint64_t seed,
           // ---- controller: walk the fault timeline ----
           barrier.arrive_and_wait();
           const auto t0 = std::chrono::steady_clock::now();
+          campaign_t0_ns.store(
+              static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      t0.time_since_epoch())
+                      .count()),
+              std::memory_order_relaxed);
           std::uint64_t last_violations = 0;
           unsigned open_brackets = 0;
           auto note_violations = [&](std::size_t owner) {
@@ -510,6 +527,34 @@ auto run_chaos_campaign(const ChaosSchedule& schedule, std::uint64_t seed,
       }
     }
   }
+
+  // ---- measured SLO recovery from the telemetry plane ----
+  // When the run was sampled with an --slo spec, score each scenario a
+  // second, independent recovery time: the gap from fault clear to the
+  // first telemetry snapshot whose per-sample violation mask is clean.
+  // Record timestamps and steady_now_us() share the monotonic timeline
+  // (platform/clock.hpp); the TSC extrapolation error over a campaign is
+  // well under one sampling interval.
+  {
+    obs::TelemetryPlane& plane = obs::TelemetryPlane::global();
+    const std::uint64_t anchor =
+        campaign_t0_ns.load(std::memory_order_relaxed);
+    if (anchor != 0 && plane.slo_configured() && plane.sample_count() > 0) {
+      for (std::size_t i = 0; i < schedule.scenarios.size(); ++i) {
+        const std::uint64_t clear_ns =
+            anchor + static_cast<std::uint64_t>(
+                         schedule.scenarios[i].clear_s() * 1e9);
+        double rec = -1.0;
+        plane.visit_records([&](const obs::TelemetryRecord& r) {
+          if (rec >= 0.0 || r.t_ns < clear_ns) return;
+          if (r.slo_breached == 0) {
+            rec = static_cast<double>(r.t_ns - clear_ns) / 1e6;
+          }
+        });
+        result.outcomes[i].slo_recovery_ms = rec;
+      }
+    }
+  }
   return result;
 }
 
@@ -543,14 +588,20 @@ inline void print_chaos_result(std::FILE* out,
                      result.rank_violations_outside));
   }
   for (const ChaosScenarioOutcome& o : result.outcomes) {
+    char slo_buf[48] = "";
+    if (o.slo_recovery_ms >= 0.0) {
+      std::snprintf(slo_buf, sizeof(slo_buf), " slo_recovery=%.0fms",
+                    o.slo_recovery_ms);
+    }
     std::fprintf(out,
                  "# chaos:   %-20s %-12s [%.2fs..%.2fs]%s fault_p99=%.3fms "
-                 "recovery=%s\n",
+                 "recovery=%s%s\n",
                  o.name.c_str(), o.kind.c_str(), o.start_s, o.clear_s,
                  o.applied ? "" : " (inert)", o.fault_p99_ms,
                  o.recovery_ms >= 0.0
                      ? (std::to_string(o.recovery_ms) + "ms").c_str()
-                     : "NEVER");
+                     : "NEVER",
+                 slo_buf);
   }
 }
 

@@ -27,6 +27,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/timeseries.hpp"
 #include "platform/cache.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -204,6 +205,11 @@ class Watchdog {
           last_op_name(workers_[i].last_op.load(std::memory_order_relaxed)));
     }
     if (diagnostics_) diagnostics_(out);
+    // Flight recorder: when the telemetry plane has been sampling, the last
+    // few snapshots show what throughput, latency, and SLO burn looked like
+    // in the seconds *leading into* the stall — usually the difference
+    // between "it hung" and an actionable picture.
+    obs::TelemetryPlane::global().dump_recent(out);
   }
 
   [[noreturn]] void dump_and_abort(double stalled_s) const {

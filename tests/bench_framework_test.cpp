@@ -63,12 +63,12 @@ TEST(JsonOut, SchemaVersionRoundTripsAndValidates) {
   // The writer stamps the current version on every line.
   const std::string line = to_json_line(
       {"fig1", "mq", "throughput_mops", 2, 1.5, 0.25, 3});
-  EXPECT_NE(line.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"schema_version\":4"), std::string::npos);
   JsonRecord parsed;
   ASSERT_TRUE(parse_json_record(line, parsed));
   EXPECT_EQ(parsed.schema_version, kJsonSchemaVersion);
   // Older versions are accepted: 1 explicitly as well as implicitly, 2 (the
-  // pre-workloads schema) explicitly.
+  // pre-workloads schema) and 3 (pre-telemetry) explicitly.
   ASSERT_TRUE(parse_json_record(
       R"({"schema_version":1,"experiment":"e","threads":1,"queue":"q","metric":"m","mean":1,"ci95":0,"reps":1})",
       parsed));
@@ -77,9 +77,13 @@ TEST(JsonOut, SchemaVersionRoundTripsAndValidates) {
       R"({"schema_version":2,"experiment":"e","threads":1,"queue":"q","metric":"m","mean":1,"ci95":0,"reps":1})",
       parsed));
   EXPECT_EQ(parsed.schema_version, 2u);
+  ASSERT_TRUE(parse_json_record(
+      R"({"schema_version":3,"experiment":"e","threads":1,"queue":"q","metric":"m","mean":1,"ci95":0,"reps":1})",
+      parsed));
+  EXPECT_EQ(parsed.schema_version, 3u);
   // Future versions and nonsense are schema drift, as are duplicates.
   EXPECT_FALSE(parse_json_record(
-      R"({"schema_version":4,"experiment":"e","threads":1,"queue":"q","metric":"m","mean":1,"ci95":0,"reps":1})",
+      R"({"schema_version":5,"experiment":"e","threads":1,"queue":"q","metric":"m","mean":1,"ci95":0,"reps":1})",
       parsed));
   EXPECT_FALSE(parse_json_record(
       R"({"schema_version":0,"experiment":"e","threads":1,"queue":"q","metric":"m","mean":1,"ci95":0,"reps":1})",

@@ -553,7 +553,7 @@ TEST(BenchCli, JsonLinesCarryCurrentSchemaVersion) {
                     "--reps=1 --prefill=200 --json=-",
                     out),
             0);
-  EXPECT_NE(out.find("\"schema_version\":3,"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"schema_version\":4,"), std::string::npos) << out;
   const std::vector<JsonRecord> records = parse_json_lines(out);
   ASSERT_EQ(records.size(), 1u);
   EXPECT_EQ(records[0].schema_version, kJsonSchemaVersion);
@@ -735,6 +735,130 @@ TEST(BenchCli, TraceOutWritesLoadableChromeTrace) {
 TEST(BenchCli, EmptyTraceOutPathIsRejected) {
   std::string out;
   EXPECT_EQ(run_cli("--trace-out=", out), 2);
+}
+
+// Telemetry flag hygiene (bench/telemetry_cli.hpp): malformed values and
+// dependent flags without --telemetry-hz must exit 2 before measuring
+// anything. The --slo specs contain '<', so they ride through the popen
+// shell single-quoted.
+TEST(BenchCli, MalformedTelemetryFlagsExitWithStatusTwo) {
+  std::string out;
+  EXPECT_EQ(run_cli("--telemetry-hz=", out), 2);
+  EXPECT_EQ(run_cli("--telemetry-hz=bogus", out), 2);
+  EXPECT_EQ(run_cli("--telemetry-hz=-5", out), 2);
+  EXPECT_EQ(run_cli("--telemetry-hz=1e9", out), 2);
+  EXPECT_EQ(run_cli("--telemetry-hz=100x", out), 2);
+  EXPECT_EQ(run_cli("--telemetry-hz=100 --timeseries-out=", out), 2);
+  EXPECT_EQ(run_cli("--telemetry-hz=100 --prom-out=", out), 2);
+  EXPECT_EQ(run_cli("--telemetry-hz=100 '--slo='", out), 2);
+  EXPECT_EQ(run_cli("--telemetry-hz=100 '--slo=bogus_metric<5'", out), 2);
+  EXPECT_EQ(run_cli("--telemetry-hz=100 '--slo=p99_sojourn_us<'", out), 2);
+  EXPECT_EQ(run_cli("--telemetry-hz=100 '--slo=p99_sojourn_us<>500'", out), 2);
+  EXPECT_EQ(run_cli("--telemetry-hz=100 '--slo=p99_sojourn_us<500x'", out), 2);
+}
+
+TEST(BenchCli, OrphanTelemetryFlagsExitWithStatusTwo) {
+  // Export/SLO flags without sampling would silently produce empty
+  // artifacts that look like measurements; the drivers refuse instead.
+  const std::string tmp = ::testing::TempDir() + "cpq_orphan_out";
+  std::string out;
+  EXPECT_EQ(run_cli("--timeseries-out=" + tmp, out), 2);
+  EXPECT_EQ(run_cli("--prom-out=" + tmp, out), 2);
+  EXPECT_EQ(run_cli("'--slo=p99_sojourn_us<500'", out), 2);
+  EXPECT_EQ(run_cli("--telemetry-hz=0 --prom-out=" + tmp, out), 2);
+}
+
+// Happy path for the telemetry plane through the real binary: a sampled
+// run emits the "# telemetry" summary, informational ts_*/slo_* JSON
+// records, a schema-v4 JSONL series, and a Prometheus dump. Full series
+// validation is CI's tools/check_timeseries.py job.
+TEST(BenchCli, TelemetrySamplingEmitsSeriesSloAndPrometheusArtifacts) {
+  const std::string series =
+      ::testing::TempDir() + "cpq_cli_series_test.jsonl";
+  const std::string prom = ::testing::TempDir() + "cpq_cli_prom_test.txt";
+  std::remove(series.c_str());
+  std::remove(prom.c_str());
+  std::string out;
+  ASSERT_EQ(run_cli("--mode=throughput --queues=mq --threads=2 --ms=80 "
+                    "--reps=1 --prefill=500 --json=- --telemetry-hz=500 "
+                    "'--slo=p99_latency_us<1000000,shed_pct<100' "
+                    "--timeseries-out=" +
+                        series + " --prom-out=" + prom,
+                    out),
+            0);
+  EXPECT_NE(out.find("# telemetry:"), std::string::npos) << out;
+  EXPECT_NE(out.find("time-series records"), std::string::npos) << out;
+
+  bool saw_samples = false, saw_slo = false;
+  for (const JsonRecord& record : parse_json_lines(out)) {
+    if (record.metric == "ts_samples") {
+      saw_samples = true;
+      EXPECT_EQ(record.queue, "telemetry");
+      EXPECT_GT(record.mean, 0.0);
+    }
+    if (record.metric.rfind("slo_samples:", 0) == 0) saw_slo = true;
+  }
+  EXPECT_TRUE(saw_samples) << out;
+  EXPECT_TRUE(saw_slo) << out;
+
+  std::FILE* file = std::fopen(series.c_str(), "r");
+  ASSERT_NE(file, nullptr) << series;
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(file);
+  std::remove(series.c_str());
+  EXPECT_NE(text.find("\"schema_version\":4"), std::string::npos)
+      << text.substr(0, 200);
+  EXPECT_NE(text.find("\"kind\":\"telemetry\""), std::string::npos);
+  EXPECT_NE(text.find("\"rates\":{"), std::string::npos);
+
+  file = std::fopen(prom.c_str(), "r");
+  ASSERT_NE(file, nullptr) << prom;
+  text.clear();
+  while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(file);
+  std::remove(prom.c_str());
+  EXPECT_NE(text.find("cpq_telemetry_samples_total"), std::string::npos)
+      << text.substr(0, 200);
+  EXPECT_NE(text.find("cpq_counter_total{"), std::string::npos);
+}
+
+// With sampling on, --trace-out gains ph:"C" Perfetto counter tracks fed
+// from the retained telemetry ring.
+TEST(BenchCli, TelemetrySamplingAddsCounterTracksToChromeTrace) {
+  const std::string path =
+      ::testing::TempDir() + "cpq_cli_counter_trace_test.json";
+  std::remove(path.c_str());
+  std::string out;
+  ASSERT_EQ(run_cli("--mode=throughput --queues=mq --threads=2 --ms=80 "
+                    "--reps=1 --prefill=500 --telemetry-hz=500 "
+                    "--trace-out=" +
+                        path,
+                    out),
+            0);
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr) << path;
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+  // In throughput mode the service gauges are absent, so their tracks
+  // stay empty; the contention deltas come from the MetricsRegistry and
+  // are always present once the plane has records.
+  EXPECT_NE(text.find("\"ph\":\"C\""), std::string::npos)
+      << text.substr(0, 200);
+  EXPECT_NE(text.find("\"cas_retry_delta\""), std::string::npos);
+  EXPECT_NE(text.find("\"lock_retry_delta\""), std::string::npos);
 }
 
 // The watchdog stall path, end to end against the real binary: the process

@@ -315,7 +315,7 @@ TEST(ChromeTraceTest, EmptyRegistryYieldsValidEmptyDocument) {
   std::size_t size = 0;
   std::FILE* stream = open_memstream(&buffer, &size);
   ASSERT_NE(stream, nullptr);
-  const std::size_t events = write_chrome_trace(stream, registry, 1.0);
+  const std::size_t events = write_chrome_trace(stream, registry);
   std::fclose(stream);
   const std::string text(buffer, size);
   std::free(buffer);
@@ -335,7 +335,7 @@ TEST(ChromeTraceTest, ExportsInstantEventsAndThreadNames) {
   std::size_t size = 0;
   std::FILE* stream = open_memstream(&buffer, &size);
   ASSERT_NE(stream, nullptr);
-  const std::size_t events = write_chrome_trace(stream, registry, 0.5);
+  const std::size_t events = write_chrome_trace(stream, registry);
   std::fclose(stream);
   const std::string text(buffer, size);
   std::free(buffer);
@@ -355,7 +355,7 @@ TEST(ChromeTraceTest, ExportsInstantEventsAndThreadNames) {
 }
 
 TEST(ChromeTraceTest, CalibrationIsPositiveAndSane) {
-  const double ns_per_tick = calibrate_ns_per_tick(0.005);
+  const double ns_per_tick = calibrate_ns_per_tick();
   EXPECT_GT(ns_per_tick, 0.0);
   // TSC frequencies live between ~0.5 GHz and ~6 GHz; steady_clock fallback
   // is exactly 1 ns/tick. Either way the factor is within [0.1, 10].

@@ -298,7 +298,17 @@ TEST(ServiceResilience, SubmitWithRetrySucceedsWhenWindowDrains) {
   auto producer = service->get_handle(0);
   ASSERT_TRUE(producer.try_submit(1, 1));
   std::thread drainer([&] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    // Pop only after the submitter has provably been rejected at least
+    // once — a fixed sleep loses this race on a loaded 1-CPU box (the
+    // main thread can be descheduled past it, and the first attempt then
+    // succeeds with zero retries). Deadline-bounded so a wedged
+    // submitter still fails the test instead of hanging it.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (service->stats().retries == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
     auto consumer = service->get_handle(1);
     K key;
     V value;

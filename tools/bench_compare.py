@@ -20,7 +20,10 @@ machine/config-dependent and are reported informationally only. The
 layout_* family (layout-sensitivity spread from interleaved runs) and
 the burst_* family (open-loop MMPP arrival diagnostics) are explicitly
 informational: spread and burst shape characterize the measurement
-environment, not the queue, so they never fail a comparison. Cells
+environment, not the queue, so they never fail a comparison. The slo_*
+(SLO burn/breach accounting) and ts_* (telemetry sampler totals)
+families emitted by the telemetry plane are likewise informational —
+they describe observability bookkeeping, not queue performance. Cells
 missing from either side are reported but are not failures: baselines
 are allowed to trail the benchmark matrix.
 
@@ -51,11 +54,11 @@ COMPARED_METRICS = {
 # they describe the measurement environment (layout sensitivity, arrival
 # burstiness), not the queue under test.
 INFORMATIONAL_PREFIXES = ("layout_", "burst_", "counter_", "rank_est_",
-                          "perf_")
+                          "perf_", "slo_", "ts_")
 
 REQUIRED_KEYS = {"experiment", "queue", "metric", "threads", "mean", "ci95",
                  "reps"}
-MAX_SCHEMA_VERSION = 3
+MAX_SCHEMA_VERSION = 4
 
 
 class ParseError(Exception):
@@ -264,6 +267,21 @@ def self_test():
     assert not r, f"informational layout_/burst_ cell flagged: {r}"
     assert len(skipped) == 3, \
         f"layout_/burst_ cells should be informational-only: {skipped}"
+
+    # 9. slo_*/ts_* telemetry-plane cells are informational: a longer
+    #    breach or more samples must never register as a regression.
+    slo_base = dict(base)
+    slo_base[("fig1", "telemetry", "slo_breach_ms:p99_sojourn_us<500", 0)] = \
+        cell("slo_breach_ms:p99_sojourn_us<500", 12.0)
+    slo_base[("fig1", "telemetry", "ts_samples", 0)] = cell("ts_samples", 50.0)
+    slo_worse = {k: dict(v) for k, v in slo_base.items()}
+    slo_worse[("fig1", "telemetry",
+               "slo_breach_ms:p99_sojourn_us<500", 0)]["mean"] = 480.0
+    slo_worse[("fig1", "telemetry", "ts_samples", 0)]["mean"] = 500.0
+    r, _, skipped, _, _ = compare(slo_base, slo_worse, 0.20)
+    assert not r, f"informational slo_/ts_ cell flagged: {r}"
+    assert len(skipped) == 3, \
+        f"slo_/ts_ cells should be informational-only: {skipped}"
 
     print("bench_compare: self-test passed")
     return 0

@@ -4,17 +4,20 @@
 Checks the structural contract that chrome://tracing and Perfetto rely on
 (JSON Object Format): a top-level object with a "traceEvents" array whose
 entries carry name/ph/pid/tid, instant events carry a numeric non-negative
-"ts" and a scope "s", and metadata events carry an "args" object. Used by
-CI after a short --trace-out run and available to developers as a local
-sanity check.
+"ts" and a scope "s", metadata events carry an "args" object, and counter
+events (ph "C", the telemetry plane's Perfetto counter tracks) carry a
+finite numeric args.value. Used by CI after a short --trace-out run and
+available to developers as a local sanity check.
 
 Usage: tools/check_chrome_trace.py TRACE.json [--min-events N]
+                                   [--min-counter-events N]
        tools/check_chrome_trace.py --self-test
 Exit codes: 0 = valid, 1 = invalid, 2 = bad invocation / unreadable file.
 """
 
 import argparse
 import json
+import math
 import sys
 
 KNOWN_PHASES = {"B", "E", "X", "i", "I", "M", "C", "b", "e", "n", "s", "t",
@@ -26,7 +29,13 @@ def fail(msg):
     return 1
 
 
-def validate(doc, min_events):
+def _reject_constant(token):
+    # Perfetto's JSON parser rejects NaN/Infinity literals; make json.load
+    # do the same instead of silently accepting Python's extension.
+    raise ValueError(f"non-standard JSON constant: {token}")
+
+
+def validate(doc, min_events, min_counter_events=0):
     if not isinstance(doc, dict):
         return fail("top level must be an object (JSON Object Format)")
     events = doc.get("traceEvents")
@@ -34,6 +43,8 @@ def validate(doc, min_events):
         return fail('missing or non-array "traceEvents"')
 
     op_events = 0
+    counter_events = 0
+    counter_tracks = set()
     for i, event in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(event, dict):
@@ -51,6 +62,18 @@ def validate(doc, min_events):
         ts = event.get("ts")
         if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
             return fail(f"{where}: bad or missing 'ts': {ts!r}")
+        if ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict):
+                return fail(f"{where}: counter event without args object")
+            value = args.get("value")
+            if (not isinstance(value, (int, float)) or
+                    isinstance(value, bool) or not math.isfinite(value)):
+                return fail(f"{where}: counter event args.value must be a "
+                            f"finite number, got {value!r}")
+            counter_events += 1
+            counter_tracks.add(event["name"])
+            continue
         if ph in ("i", "I") and event.get("s") not in ("g", "p", "t"):
             return fail(f"{where}: instant event scope 's' must be g/p/t")
         op_events += 1
@@ -58,8 +81,13 @@ def validate(doc, min_events):
     if op_events < min_events:
         return fail(f"only {op_events} operation event(s), "
                     f"expected at least {min_events}")
+    if counter_events < min_counter_events:
+        return fail(f"only {counter_events} counter event(s), "
+                    f"expected at least {min_counter_events}")
     print(f"check_chrome_trace: OK — {op_events} operation event(s), "
-          f"{len(events) - op_events} metadata event(s)")
+          f"{counter_events} counter event(s) on {len(counter_tracks)} "
+          f"track(s), "
+          f"{len(events) - op_events - counter_events} metadata event(s)")
     return 0
 
 
@@ -69,7 +97,9 @@ def self_test():
             "args": {"name": "bench worker slice 0"}}
     insert = {"name": "insert", "ph": "i", "s": "t", "pid": 1, "tid": 1,
               "ts": 0.0, "args": {"key": 42, "sample_period": 64}}
-    good = {"traceEvents": [meta, insert], "displayTimeUnit": "ns"}
+    counter = {"name": "delivered_per_s", "ph": "C", "pid": 1, "tid": 0,
+               "ts": 10.5, "args": {"value": 12345.6}}
+    good = {"traceEvents": [meta, insert, counter], "displayTimeUnit": "ns"}
     checks = [
         ("valid doc passes", validate(good, 1), 0),
         ("min-events enforced", validate(good, 2), 1),
@@ -85,6 +115,23 @@ def self_test():
         ("metadata without args rejected",
          validate({"traceEvents": [{"name": "thread_name", "ph": "M",
                                     "pid": 1, "tid": 1}]}, 0), 1),
+        ("counter event counted", validate(good, 0, 1), 0),
+        ("min-counter-events enforced", validate(good, 0, 2), 1),
+        ("counter without args rejected",
+         validate({"traceEvents": [{"name": "c", "ph": "C", "pid": 1,
+                                    "tid": 0, "ts": 1}]}, 0), 1),
+        ("counter with string value rejected",
+         validate({"traceEvents": [dict(counter,
+                                        args={"value": "12"})]}, 0), 1),
+        ("counter with NaN value rejected",
+         validate({"traceEvents": [dict(counter,
+                                        args={"value": float('nan')})]},
+                  0), 1),
+        ("counter with bool value rejected",
+         validate({"traceEvents": [dict(counter,
+                                        args={"value": True})]}, 0), 1),
+        ("counter with negative ts rejected",
+         validate({"traceEvents": [dict(counter, ts=-2.0)]}, 0), 1),
     ]
     failed = [name for name, got, want in checks if got != want]
     for name in failed:
@@ -100,6 +147,8 @@ def main(argv):
     parser.add_argument("trace", nargs="?", help="trace JSON file")
     parser.add_argument("--min-events", type=int, default=0,
                         help="fail unless at least N operation events")
+    parser.add_argument("--min-counter-events", type=int, default=0,
+                        help="fail unless at least N ph:'C' counter events")
     parser.add_argument("--self-test", action="store_true",
                         help="run built-in validator checks and exit")
     args = parser.parse_args(argv)
@@ -111,13 +160,13 @@ def main(argv):
 
     try:
         with open(args.trace, "r", encoding="utf-8") as handle:
-            doc = json.load(handle)
+            doc = json.load(handle, parse_constant=_reject_constant)
     except OSError as err:
         print(f"check_chrome_trace: {err}", file=sys.stderr)
         return 2
-    except json.JSONDecodeError as err:
+    except (json.JSONDecodeError, ValueError) as err:
         return fail(f"{args.trace}: not valid JSON: {err}")
-    return validate(doc, args.min_events)
+    return validate(doc, args.min_events, args.min_counter_events)
 
 
 if __name__ == "__main__":

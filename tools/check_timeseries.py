@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Validate a telemetry time-series JSONL file produced by --timeseries-out.
+
+One JSON object per line, "kind":"telemetry", schema_version 4 (older
+versions are rejected — the telemetry export never existed before v4;
+newer versions are rejected so schema drift fails loudly). Checks per
+record: the required field tree (latency/sojourn windows, rank, pool,
+rates, counters, gauges), strictly increasing seq and t_ns (the sampler
+guarantees strict monotonicity), positive interval_ns, and no NaN/Infinity
+leakage anywhere (unavailable rates must be null, not NaN — Python's json
+accepts NaN by default, so the parser is pinned strict).
+
+Usage: tools/check_timeseries.py SERIES.jsonl [--min-records N]
+       tools/check_timeseries.py --self-test
+Exit codes: 0 = valid, 1 = invalid, 2 = bad invocation / unreadable file.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA_VERSION = 4
+
+WINDOW_KEYS = ("count", "p50_ns", "p99_ns", "max_ns")
+RANK_KEYS = ("samples", "p50", "p90", "max", "violations")
+POOL_KEYS = ("fresh", "reused", "recycled", "oversize")
+RATE_KEYS = ("delivered_per_s", "submitted_per_s", "shed_pct", "reject_pct")
+TOP_KEYS = ("schema_version", "kind", "seq", "t_ns", "interval_ns",
+            "latency", "sojourn", "rank", "pool", "rates", "slo_breached",
+            "counters", "gauges")
+
+
+def fail(msg):
+    print(f"check_timeseries: {msg}", file=sys.stderr)
+    return 1
+
+
+def _reject_constant(token):
+    raise ValueError(f"non-standard JSON constant: {token}")
+
+
+def _is_uint(value):
+    return isinstance(value, int) and not isinstance(value, bool) and \
+        value >= 0
+
+
+def _is_number(value):
+    # Finite int/float; bool is a JSON bool, not a number. json.loads with
+    # parse_constant strict never yields non-finite floats, but records
+    # built in self-test can.
+    return isinstance(value, (int, float)) and not isinstance(value, bool) \
+        and math.isfinite(value)
+
+
+def check_record(record, where):
+    if not isinstance(record, dict):
+        return f"{where}: not an object"
+    for key in TOP_KEYS:
+        if key not in record:
+            return f"{where}: missing '{key}'"
+    if record["schema_version"] != SCHEMA_VERSION:
+        return (f"{where}: schema_version {record['schema_version']!r}, "
+                f"expected {SCHEMA_VERSION}")
+    if record["kind"] != "telemetry":
+        return f"{where}: kind {record['kind']!r}, expected 'telemetry'"
+    for key in ("seq", "t_ns", "interval_ns", "slo_breached"):
+        if not _is_uint(record[key]):
+            return f"{where}: '{key}' must be a non-negative integer"
+    if record["interval_ns"] == 0:
+        return f"{where}: interval_ns must be positive"
+    for window in ("latency", "sojourn"):
+        obj = record[window]
+        if not isinstance(obj, dict):
+            return f"{where}: '{window}' must be an object"
+        for key in WINDOW_KEYS:
+            if not _is_uint(obj.get(key)):
+                return f"{where}: {window}.{key} must be a " \
+                       f"non-negative integer"
+    rank = record["rank"]
+    if not isinstance(rank, dict):
+        return f"{where}: 'rank' must be an object"
+    for key in RANK_KEYS:
+        if key not in rank:
+            return f"{where}: rank.{key} missing"
+    for key in ("samples", "max", "violations"):
+        if not _is_uint(rank[key]):
+            return f"{where}: rank.{key} must be a non-negative integer"
+    for key in ("p50", "p90"):
+        if rank[key] is not None and not _is_number(rank[key]):
+            return f"{where}: rank.{key} must be a finite number or null"
+    pool = record["pool"]
+    if not isinstance(pool, dict):
+        return f"{where}: 'pool' must be an object"
+    for key in POOL_KEYS:
+        if not _is_uint(pool.get(key)):
+            return f"{where}: pool.{key} must be a non-negative integer"
+    rates = record["rates"]
+    if not isinstance(rates, dict):
+        return f"{where}: 'rates' must be an object"
+    for key in RATE_KEYS:
+        if key not in rates:
+            return f"{where}: rates.{key} missing"
+        value = rates[key]
+        if value is not None and not _is_number(value):
+            return f"{where}: rates.{key} must be a finite number or null"
+    counters = record["counters"]
+    if not isinstance(counters, dict) or not counters:
+        return f"{where}: 'counters' must be a non-empty object"
+    for name, value in counters.items():
+        if not _is_uint(value):
+            return f"{where}: counters.{name} must be a " \
+                   f"non-negative integer"
+    gauges = record["gauges"]
+    if not isinstance(gauges, dict):
+        return f"{where}: 'gauges' must be an object"
+    for name, value in gauges.items():
+        if value is not None and not _is_number(value):
+            return f"{where}: gauges.{name} must be a finite number or null"
+    return None
+
+
+def validate_lines(lines, min_records):
+    records = 0
+    prev_seq = None
+    prev_t = None
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        where = f"line {lineno}"
+        try:
+            record = json.loads(line, parse_constant=_reject_constant)
+        except (json.JSONDecodeError, ValueError) as err:
+            return fail(f"{where}: not valid strict JSON: {err}")
+        err = check_record(record, where)
+        if err:
+            return fail(err)
+        if prev_seq is not None and record["seq"] <= prev_seq:
+            return fail(f"{where}: seq {record['seq']} not strictly "
+                        f"increasing (previous {prev_seq})")
+        if prev_t is not None and record["t_ns"] <= prev_t:
+            return fail(f"{where}: t_ns {record['t_ns']} not strictly "
+                        f"increasing (previous {prev_t})")
+        prev_seq = record["seq"]
+        prev_t = record["t_ns"]
+        records += 1
+    if records < min_records:
+        return fail(f"only {records} record(s), expected at least "
+                    f"{min_records}")
+    print(f"check_timeseries: OK — {records} telemetry record(s)")
+    return 0
+
+
+def _record(seq=0, t_ns=1000, **overrides):
+    base = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "telemetry",
+        "seq": seq,
+        "t_ns": t_ns,
+        "interval_ns": 1000,
+        "latency": {"count": 2, "p50_ns": 100, "p99_ns": 200, "max_ns": 300},
+        "sojourn": {"count": 0, "p50_ns": 0, "p99_ns": 0, "max_ns": 0},
+        "rank": {"samples": 0, "p50": None, "p90": None, "max": 0,
+                 "violations": 0},
+        "pool": {"fresh": 0, "reused": 0, "recycled": 0, "oversize": 0},
+        "rates": {"delivered_per_s": 10.0, "submitted_per_s": None,
+                  "shed_pct": 0.0, "reject_pct": None},
+        "slo_breached": 0,
+        "counters": {"cas_retry": 3},
+        "gauges": {"in_flight": 4.0},
+    }
+    base.update(overrides)
+    return base
+
+
+def self_test():
+    """Deterministic checks of the validator itself on synthetic series."""
+    def lines(*records):
+        return [json.dumps(r) for r in records]
+
+    good = lines(_record(seq=0, t_ns=1000), _record(seq=1, t_ns=2000))
+    checks = [
+        ("valid series passes", validate_lines(good, 2), 0),
+        ("min-records enforced", validate_lines(good, 3), 1),
+        ("empty series passes with min 0", validate_lines([], 0), 0),
+        ("blank lines tolerated",
+         validate_lines([""] + good + [" "], 2), 0),
+        ("non-monotonic seq rejected",
+         validate_lines(lines(_record(seq=1, t_ns=1000),
+                              _record(seq=1, t_ns=2000)), 0), 1),
+        ("non-monotonic t_ns rejected",
+         validate_lines(lines(_record(seq=0, t_ns=2000),
+                              _record(seq=1, t_ns=2000)), 0), 1),
+        ("future schema rejected",
+         validate_lines(lines(_record(schema_version=SCHEMA_VERSION + 1)),
+                        0), 1),
+        ("old schema rejected",
+         validate_lines(lines(_record(schema_version=3)), 0), 1),
+        ("wrong kind rejected",
+         validate_lines(lines(_record(kind="bench")), 0), 1),
+        ("missing rates key rejected",
+         validate_lines(lines(_record(rates={"delivered_per_s": 1.0})), 0),
+         1),
+        ("NaN literal rejected",
+         validate_lines(['{"schema_version":4,"kind":"telemetry","seq":0,'
+                         '"t_ns":1,"interval_ns":1,"x":NaN}'], 0), 1),
+        ("NaN rate rejected",
+         validate_lines(lines(_record(rates={
+             "delivered_per_s": float("nan"), "submitted_per_s": None,
+             "shed_pct": 0.0, "reject_pct": None})), 0), 1),
+        ("zero interval rejected",
+         validate_lines(lines(_record(interval_ns=0)), 0), 1),
+        ("negative counter rejected",
+         validate_lines(lines(_record(counters={"cas_retry": -1})), 0), 1),
+        ("bool gauge rejected",
+         validate_lines(lines(_record(gauges={"in_flight": True})), 0), 1),
+    ]
+    failed = [name for name, got, want in checks if got != want]
+    for name in failed:
+        print(f"self-test FAILED: {name}", file=sys.stderr)
+    if not failed:
+        print(f"check_timeseries: self-test OK ({len(checks)} checks)")
+    return 1 if failed else 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Validate --timeseries-out telemetry JSON Lines.")
+    parser.add_argument("series", nargs="?", help="time-series JSONL file")
+    parser.add_argument("--min-records", type=int, default=0,
+                        help="fail unless at least N records")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run built-in validator checks and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if args.series is None:
+        parser.error("series file required unless --self-test")
+
+    try:
+        with open(args.series, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as err:
+        print(f"check_timeseries: {err}", file=sys.stderr)
+        return 2
+    return validate_lines(lines, args.min_records)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
